@@ -1,0 +1,59 @@
+// Ablation: matcher implementation under VES maintenance load.
+//
+// The paper notes evolving subscriptions are "best paired with a matching
+// engine optimized for a high rate of subscriptions and unsubscriptions"
+// (Section II, citing [10]): VES replaces one matcher entry per evolution,
+// so the matcher's insert/remove cost dominates its maintenance overhead.
+// This driver re-runs the Figure 8(a)/9 style VES workload with:
+//   * the counting matcher (sorted bound lists: fast match, O(n) updates)
+//   * the churn matcher (unordered buckets: O(1) updates, linear-ish match)
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "workloads/game.hpp"
+
+namespace {
+
+using namespace evps;
+
+struct Cost {
+  double maintenance_ms;
+  double match_ms;
+};
+
+Cost ves_cost(MatcherKind matcher, std::size_t characters) {
+  GameConfig cfg;
+  cfg.system = SystemKind::kVes;
+  cfg.seed = 7;
+  cfg.characters = characters;
+  cfg.clients = 100;
+  cfg.pub_rate = 200.0;
+  cfg.matcher = matcher;
+  cfg.duration = SimTime::from_seconds(20.0);
+  GameExperiment exp(cfg);
+  exp.run();
+  const auto& costs = exp.engine_costs();
+  return Cost{costs.maintenance.sum() * 1000.0, costs.match.sum() * 1000.0};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: VES maintenance vs matcher implementation\n"
+               "(moving AoI subscriptions, 200 pubs/s, 20 s window, ms)\n";
+  Table t{{"subscriptions", "counting: maint", "counting: match", "churn: maint",
+           "churn: match"}};
+  for (const std::size_t n : {500u, 1000u, 2000u, 4000u}) {
+    const Cost counting = ves_cost(MatcherKind::kCounting, n);
+    const Cost churn = ves_cost(MatcherKind::kChurn, n);
+    t.add_row({std::to_string(n), Table::fmt(counting.maintenance_ms, 1),
+               Table::fmt(counting.match_ms, 1), Table::fmt(churn.maintenance_ms, 1),
+               Table::fmt(churn.match_ms, 1)});
+  }
+  t.print();
+  std::cout << "\nreading the table: the churn matcher flattens the VES maintenance\n"
+               "growth (the [10] pairing the paper recommends) at the price of a\n"
+               "higher per-publication match cost — the right trade exactly when the\n"
+               "evolution rate dominates the publication rate.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+# Experiment drivers (one per paper figure/table) plus google-benchmark
+# micro-benchmarks. Included from the top-level CMakeLists so the binaries
+# land alone in ${CMAKE_BINARY_DIR}/bench.
+function(evps_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    evps_workloads evps_metrics evps_broker evps_evolving
+    evps_matching evps_message evps_expr evps_sim evps_common)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(evps_gbench name)
+  evps_bench(${name})
+  target_link_libraries(${name} PRIVATE benchmark::benchmark benchmark::benchmark_main)
+endfunction()
+
+evps_bench(fig6_traffic)
+evps_bench(fig7_accuracy)
+evps_bench(fig8_processing)
+evps_bench(fig9_evolution_volume)
+evps_bench(fig10ab_throughput)
+evps_bench(fig10c_visibility)
+evps_bench(table1_summary)
+evps_bench(ablation_hybrid)
+evps_bench(ablation_matcher)
+evps_gbench(micro_expr)
+evps_gbench(micro_matcher)
+evps_gbench(micro_engines)

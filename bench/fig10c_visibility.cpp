@@ -1,0 +1,89 @@
+// Figure 10(c): visibility-based game experiment (Section VI-D).
+//
+// 250 characters move while the in-game visibility drops 100% -> 50% ->
+// 100% -> 50%, changing every 3 s. Evolving subscriptions track visibility
+// through the broker-side variable `v`; the non-evolving baseline must be
+// told the visibility through weather notifications and resubscribe — and
+// in the final 30 s the notifications stop, so the baseline keeps matching
+// with its stale area while evolving subscriptions react.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "workloads/game.hpp"
+
+namespace {
+
+using namespace evps;
+
+GameConfig make_config(SystemKind system) {
+  GameConfig cfg;
+  cfg.system = system;
+  cfg.seed = 7;
+  cfg.characters = 250;
+  cfg.clients = 250;  // one character per client, as in the paper's setup
+  // Uniform event positions (trace-like), so the match volume tracks the
+  // total covered area: player-position hotspots would self-match at any
+  // visibility and mask the v^2 shrinkage the figure demonstrates.
+  cfg.hotspot_fraction = 0.0;
+  cfg.pub_rate = 400.0;
+  cfg.use_visibility = true;
+  cfg.visibility_step = Duration::seconds(3.0);
+  cfg.blackout_tail = Duration::seconds(30.0);
+  cfg.duration = SimTime::from_seconds(120.0);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Figure 10(c): matching publications under a\n"
+               "changing visibility schedule (120 s, blackout in the last 30 s)\n";
+
+  GameExperiment evolving(make_config(SystemKind::kLees));
+  GameExperiment baseline(make_config(SystemKind::kResub));
+  evolving.run();
+  baseline.run();
+
+  const auto& ev = evolving.deliveries_per_second();
+  const auto& bl = baseline.deliveries_per_second();
+  Table t{{"t (s)", "visibility", "evolving (deliveries/s)", "non-evolving (deliveries/s)"}};
+  for (std::size_t i = 0; i < ev.size() && i < bl.size(); i += 5) {
+    t.add_row({std::to_string(i + 1),
+               Table::pct(evolving.visibility_at(SimTime::from_seconds(static_cast<double>(i))),
+                          0),
+               std::to_string(ev[i]), std::to_string(bl[i])});
+  }
+  t.print();
+
+  const auto window_mean = [](const std::vector<std::uint64_t>& s, std::size_t from,
+                              std::size_t to) {
+    double total = 0;
+    std::size_t n = 0;
+    for (std::size_t i = from; i < to && i < s.size(); ++i, ++n) {
+      total += static_cast<double>(s[i]);
+    }
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+  };
+  const double ev_mid = window_mean(ev, 55, 62);
+  const double ev_start = window_mean(ev, 2, 10);
+  std::cout << "\nvisibility 50% vs 100% match volume (evolving): "
+            << Table::pct(ev_mid / ev_start, 0)
+            << " (paper: area covers 1/4, matches drop ~75%)\n";
+
+  const double ev_tail = window_mean(ev, 105, 120);
+  const double bl_tail = window_mean(bl, 105, 120);
+  const double ev_peak = window_mean(ev, 80, 88);
+  const double bl_peak = window_mean(bl, 80, 88);
+  std::cout << "blackout reaction (tail/peak ratio): evolving "
+            << Table::pct(ev_tail / ev_peak, 0) << ", non-evolving "
+            << Table::pct(bl_tail / bl_peak, 0)
+            << " (paper: evolving reacts to the drop, non-evolving does not)\n";
+
+  std::cout << "subscription messages received: evolving " << evolving.subscription_msgs()
+            << ", non-evolving " << baseline.subscription_msgs() << " ("
+            << Table::fmt(static_cast<double>(baseline.subscription_msgs()) /
+                              static_cast<double>(evolving.subscription_msgs()),
+                          1)
+            << "x; paper: non-evolving sends ~10x more)\n";
+  return 0;
+}

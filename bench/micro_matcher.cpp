@@ -1,0 +1,97 @@
+// Micro-benchmarks: the standard content-based matcher.
+//
+// Two costs matter for the paper's analysis: match() (paid per publication
+// by every engine) and add()/remove() (paid per version replacement by VES —
+// the maintenance cost that grows with the matcher population, Figure 9).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "matching/brute_force_matcher.hpp"
+#include "matching/churn_matcher.hpp"
+#include "matching/counting_matcher.hpp"
+
+namespace {
+
+using namespace evps;
+
+std::vector<Predicate> aoi_preds(Rng& rng, double world) {
+  const double x = rng.uniform(-world, world);
+  const double y = rng.uniform(-world, world);
+  return {
+      Predicate{"x", RelOp::kGe, Value{x - 3}},
+      Predicate{"x", RelOp::kLe, Value{x + 3}},
+      Predicate{"y", RelOp::kGe, Value{y - 2}},
+      Predicate{"y", RelOp::kLe, Value{y + 2}},
+  };
+}
+
+void fill(Matcher& m, std::size_t n, Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add(SubscriptionId{i + 1}, aoi_preds(rng, 100.0));
+  }
+}
+
+template <typename M>
+void BM_Match(benchmark::State& state) {
+  M matcher;
+  Rng rng{1};
+  fill(matcher, static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    Publication pub;
+    pub.set("x", rng.uniform(-100.0, 100.0));
+    pub.set("y", rng.uniform(-100.0, 100.0));
+    out.clear();
+    matcher.match(pub, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_Match<CountingMatcher>)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Match<ChurnMatcher>)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Match<BruteForceMatcher>)->Arg(100)->Arg(1000)->Arg(10000);
+
+template <typename M>
+void BM_VersionReplacement(benchmark::State& state) {
+  // The VES maintenance operation: remove + re-add one subscription while
+  // the matcher holds `n` others.
+  M matcher;
+  Rng rng{2};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  fill(matcher, n, rng);
+  const SubscriptionId victim{n / 2 + 1};
+  std::vector<Predicate> version = aoi_preds(rng, 100.0);
+  for (auto _ : state) {
+    matcher.remove(victim);
+    matcher.add(victim, version);
+  }
+  benchmark::DoNotOptimize(matcher.size());
+}
+BENCHMARK(BM_VersionReplacement<CountingMatcher>)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_VersionReplacement<ChurnMatcher>)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EqualityHeavyMatch(benchmark::State& state) {
+  // HFT-style: string equality fan-out over 500 symbols plus price bands.
+  CountingMatcher matcher;
+  Rng rng{3};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = rng.uniform(10.0, 500.0);
+    matcher.add(SubscriptionId{i + 1},
+                {Predicate{"symbol", RelOp::kEq,
+                           Value{"STK" + std::to_string(i % 500)}},
+                 Predicate{"price", RelOp::kGe, Value{c - 0.25}},
+                 Predicate{"price", RelOp::kLe, Value{c + 0.25}}});
+  }
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    Publication pub;
+    pub.set("symbol", "STK" + std::to_string(rng.uniform_int(0, 499)));
+    pub.set("price", rng.uniform(10.0, 500.0));
+    out.clear();
+    matcher.match(pub, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_EqualityHeavyMatch)->Arg(900)->Arg(9000);
+
+}  // namespace

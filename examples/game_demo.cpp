@@ -1,0 +1,59 @@
+// Online-game demo (Section VI-C/D): characters roam a world, their areas of
+// interest evolve with movement and with the in-game visibility variable,
+// and the game server never sees a resubscription.
+//
+//   $ ./game_demo [engine]        # engine: ves | lees | clees (default)
+#include <cstring>
+#include <iostream>
+
+#include "workloads/game.hpp"
+
+using namespace evps;
+
+int main(int argc, char** argv) {
+  SystemKind system = SystemKind::kClees;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "ves") == 0) system = SystemKind::kVes;
+    if (std::strcmp(argv[1], "lees") == 0) system = SystemKind::kLees;
+  }
+
+  GameConfig cfg;
+  cfg.system = system;
+  cfg.seed = 2026;
+  cfg.characters = 120;
+  cfg.clients = 30;
+  cfg.pub_rate = 100.0;
+  cfg.use_visibility = true;  // fog rolls in halfway through
+  cfg.duration = SimTime::from_seconds(60.0);
+
+  std::cout << "Game demo: " << cfg.characters << " characters, " << cfg.clients
+            << " clients, engine " << to_string(system) << "\n";
+  std::cout << "Visibility drops from 100% to 50% mid-run; subscriptions shrink\n"
+               "autonomously via the broker-side variable `v`.\n\n";
+
+  GameExperiment exp(cfg);
+  exp.run();
+
+  std::cout << "deliveries per second (each bar = 10 deliveries):\n";
+  const auto& series = exp.deliveries_per_second();
+  for (std::size_t i = 0; i < series.size(); i += 3) {
+    const auto bar = static_cast<std::size_t>(series[i] / 10);
+    std::cout << "  t=" << (i < 9 ? " " : "") << i + 1 << "s  v="
+              << static_cast<int>(exp.visibility_at(SimTime::from_seconds(
+                     static_cast<double>(i))) * 100)
+              << "%  " << std::string(bar, '#') << " " << series[i] << "\n";
+  }
+
+  const auto& costs = exp.engine_costs();
+  std::cout << "\nengine costs over " << cfg.duration.seconds() << "s:\n";
+  std::cout << "  version evolutions:    " << costs.evolutions << "\n";
+  std::cout << "  lazy evaluations:      " << costs.lazy_evaluations << "\n";
+  std::cout << "  cache hits/misses:     " << costs.cache_hits << "/" << costs.cache_misses
+            << "\n";
+  std::cout << "  maintenance time:      " << costs.maintenance.sum() * 1000 << " ms\n";
+  std::cout << "  lazy-evaluation time:  " << costs.lazy_eval.sum() * 1000 << " ms\n";
+  std::cout << "  matcher time:          " << costs.match.sum() * 1000 << " ms\n";
+  std::cout << "  subscription messages: " << exp.subscription_msgs() << " (one per character "
+            << "per 10s movement epoch; a resubscribing client would send ~10x more)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// High-frequency-trading demo (Section VI-B): three simulated stock markets
+// (13 brokers), brokerage-firm publishers and HFT client firms tracking
+// narrow, drifting price bands with evolving subscriptions — compared
+// head-to-head with the resubscription baseline.
+//
+//   $ ./hft_demo
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "workloads/hft.hpp"
+
+using namespace evps;
+
+namespace {
+
+HftConfig demo_config(SystemKind system) {
+  HftConfig cfg;
+  cfg.system = system;
+  cfg.seed = 7;
+  cfg.clients = 30;
+  cfg.stocks = 120;
+  cfg.stocks_per_client = 5;
+  cfg.pub_rate = 25.0;
+  cfg.change_rate_per_min = 30.0;
+  cfg.validity = Duration::seconds(20.0);
+  cfg.duration = SimTime::from_seconds(60.0);
+  cfg.traffic_interval = Duration::seconds(20.0);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "HFT demo: 3 markets x (3 edge + 1 core) + 1 central broker\n";
+  std::cout << "30 HFT firms x 5 stocks, bands re-centred 30x/min per subscription\n\n";
+
+  Table t{{"system", "sub msgs/interval/broker", "deliveries", "engine time (ms)"}};
+  for (const SystemKind system :
+       {SystemKind::kResub, SystemKind::kParametric, SystemKind::kClees}) {
+    HftExperiment exp(demo_config(system));
+    exp.run();
+    t.add_row({to_string(system), Table::fmt(exp.traffic().mean(), 1),
+               std::to_string(exp.delivery_log().total()),
+               Table::fmt(exp.engine_seconds() * 1000, 1)});
+  }
+  t.print();
+
+  std::cout << "\nThe evolving system expresses each band as\n"
+               "    price >= c0 - w + drift*t ; price <= c0 + w + drift*t\n"
+               "so brokers re-centre it locally; clients only send one subscription\n"
+               "per validity period instead of two messages per band move.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Real-time demo: the paper's threaded architecture (Section V-A) running
+// against the wall clock — a VES engine whose versions evolve in real time
+// on the host's worker thread, exactly like PADRES's handler threads.
+//
+//   $ ./realtime_demo
+#include <iostream>
+#include <thread>
+
+#include "evolving/ves_engine.hpp"
+#include "message/codec.hpp"
+#include "realtime/realtime_host.hpp"
+
+using namespace evps;
+
+int main() {
+  RealTimeHost host;
+  EngineConfig config;
+  config.kind = EngineKind::kVes;
+  VesEngine engine{config};
+
+  std::cout << "Installing evolving subscription: x >= -3 + t; x <= 3 + t (MEI 200 ms)\n";
+  host.invoke([&] {
+    Subscription sub = parse_subscription("[mei=0.2] x >= -3 + t; x <= 3 + t");
+    sub.set_id(SubscriptionId{1});
+    sub.set_epoch(host.now());
+    engine.add(std::make_shared<const Subscription>(std::move(sub)), NodeId{1}, host);
+  });
+
+  const Publication probe = parse_publication("x = 4; action = 'pickup'");
+  std::cout << "Probing with x = 4 every 250 ms; the window slides by 1 unit/s...\n";
+  for (int i = 0; i < 10; ++i) {
+    bool matched = false;
+    double window_t = 0;
+    host.invoke([&] {
+      std::vector<NodeId> dests;
+      engine.match(probe, nullptr, host, dests);
+      matched = !dests.empty();
+      window_t = host.now().seconds();
+    });
+    std::cout << "  t=" << window_t << "s  window=[" << (-3 + window_t) << ", "
+              << (3 + window_t) << "]  x=4 " << (matched ? "MATCH" : "no match") << "\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+
+  std::uint64_t evolutions = 0;
+  host.invoke([&] { evolutions = engine.costs().evolutions; });
+  std::cout << "Versions evolved " << evolutions
+            << " times on the worker thread; the subscriber sent exactly one message.\n";
+  return 0;
+}

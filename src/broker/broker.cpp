@@ -1,0 +1,198 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace evps {
+
+Broker::Broker(std::string name, Network& net, BrokerConfig config)
+    : net_(net), name_(std::move(name)), config_(config), engine_(make_engine(config.engine)) {
+  net_.attach(*this);
+}
+
+void Broker::connect(Broker& a, Broker& b, Duration latency) {
+  a.net_.connect(a.node_id(), b.node_id(), latency);
+  a.broker_neighbors_.insert(b.node_id());
+  b.broker_neighbors_.insert(a.node_id());
+}
+
+void Broker::accept_client(NodeId client) { client_neighbors_.insert(client); }
+
+void Broker::set_variable(const std::string& name, double value) {
+  set_variable_local(name, value);
+  for (const auto neighbor : broker_neighbors_) {
+    net_.send(node_id(), neighbor, VarUpdateMsg{name, value});
+  }
+}
+
+void Broker::set_variable_local(const std::string& name, double value) {
+  registry_.set(name, value, now());
+}
+
+void Broker::enable_load_monitor(const std::string& name, Duration interval, SimTime until) {
+  set_variable_local(name, 0.0);
+  auto last = std::make_shared<std::uint64_t>(stats_.deliveries + stats_.pubs_forwarded);
+  net_.simulator().every(
+      now() + interval, interval, until, [this, name, interval, last](SimTime) {
+        const std::uint64_t total = stats_.deliveries + stats_.pubs_forwarded;
+        const double rate =
+            static_cast<double>(total - *last) / interval.count_seconds();
+        *last = total;
+        set_variable_local(name, rate);
+      });
+}
+
+void Broker::on_message(const Envelope& env) {
+  ++stats_.received_total;
+  if (is_subscription_related(env.msg)) ++stats_.subscription_msgs;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, SubscribeMsg>) {
+          handle_subscribe(msg, env.from);
+        } else if constexpr (std::is_same_v<T, UnsubscribeMsg>) {
+          handle_unsubscribe(msg, env.from);
+        } else if constexpr (std::is_same_v<T, SubscriptionUpdateMsg>) {
+          handle_update(msg, env.from);
+        } else if constexpr (std::is_same_v<T, PublishMsg>) {
+          handle_publish(msg, env.from);
+        } else if constexpr (std::is_same_v<T, AdvertiseMsg>) {
+          handle_advertise(msg, env.from);
+        } else if constexpr (std::is_same_v<T, UnadvertiseMsg>) {
+          handle_unadvertise(msg, env.from);
+        } else if constexpr (std::is_same_v<T, VarUpdateMsg>) {
+          handle_var_update(msg, env.from);
+        } else {
+          EVPS_WARN(name_, "unexpected message kind: ", message_kind(env.msg));
+        }
+      },
+      env.msg);
+}
+
+std::vector<NodeId> Broker::subscription_forward_targets(const Subscription& sub,
+                                                         NodeId from) const {
+  std::vector<NodeId> targets;
+  if (config_.routing == RoutingMode::kFlooding) {
+    for (const auto neighbor : broker_neighbors_) {
+      if (neighbor != from) targets.push_back(neighbor);
+    }
+    return targets;
+  }
+  // Advertisement routing: forward only towards neighbours that are on the
+  // path of an intersecting advertisement.
+  std::set<NodeId> chosen;
+  for (const auto& [id, entry] : adverts_) {
+    const auto& [adv, last_hop] = entry;
+    if (last_hop == from || chosen.contains(last_hop)) continue;
+    if (!broker_neighbors_.contains(last_hop)) continue;
+    if (adv->intersects(sub)) chosen.insert(last_hop);
+  }
+  targets.assign(chosen.begin(), chosen.end());
+  return targets;
+}
+
+void Broker::handle_subscribe(const SubscribeMsg& msg, NodeId from) {
+  ++stats_.subscribes;
+  if (!msg.sub) return;
+  if (engine_->contains(msg.sub->id())) return;  // duplicate (cycle guard)
+  engine_->add(msg.sub, from, *this, broker_neighbors_.contains(from));
+  auto targets = subscription_forward_targets(*msg.sub, from);
+  for (const auto target : targets) {
+    net_.send(node_id(), target, SubscribeMsg{msg.sub});
+  }
+  sub_forwards_.emplace(msg.sub->id(), std::move(targets));
+}
+
+void Broker::handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from) {
+  ++stats_.unsubscribes;
+  if (!engine_->remove(msg.id, *this)) return;
+  const auto it = sub_forwards_.find(msg.id);
+  if (it != sub_forwards_.end()) {
+    for (const auto target : it->second) {
+      if (target != from) net_.send(node_id(), target, UnsubscribeMsg{msg.id});
+    }
+    sub_forwards_.erase(it);
+  }
+}
+
+void Broker::handle_update(const SubscriptionUpdateMsg& msg, NodeId from) {
+  ++stats_.sub_updates;
+  if (!engine_->update(msg.id, msg.new_values, *this)) return;
+  const auto it = sub_forwards_.find(msg.id);
+  if (it != sub_forwards_.end()) {
+    for (const auto target : it->second) {
+      if (target != from) net_.send(node_id(), target, msg);
+    }
+  }
+}
+
+void Broker::handle_publish(PublishMsg msg, NodeId from) {
+  ++stats_.publications;
+  if (client_neighbors_.contains(from)) {
+    // Entry-point broker (Section V-D): stamp the entry time and, in
+    // snapshot-consistency mode, record the current variable values.
+    msg.pub.set_entry_time(now());
+    if (config_.snapshot_consistency) {
+      auto snapshot = std::make_shared<VariableSnapshot>();
+      for (const auto& name : registry_.names()) {
+        if (const auto v = registry_.get(name)) snapshot->emplace(name, *v);
+      }
+      msg.snapshot = std::move(snapshot);
+    }
+  }
+
+  std::vector<NodeId> destinations;
+  engine_->match(msg.pub, msg.snapshot.get(), *this, destinations);
+
+  for (const auto dest : destinations) {
+    if (dest == from) continue;  // never route back where it came from
+    if (client_neighbors_.contains(dest)) {
+      net_.send(node_id(), dest, DeliveryMsg{msg.pub});
+      ++stats_.deliveries;
+    } else if (broker_neighbors_.contains(dest)) {
+      net_.send(node_id(), dest, msg);
+      ++stats_.pubs_forwarded;
+    }
+  }
+}
+
+void Broker::handle_advertise(const AdvertiseMsg& msg, NodeId from) {
+  ++stats_.advertisements;
+  if (!msg.adv) return;
+  if (adverts_.contains(msg.adv->id())) return;  // duplicate (cycle guard)
+  adverts_.emplace(msg.adv->id(), std::make_pair(msg.adv, from));
+  // Advertisements are flooded.
+  for (const auto neighbor : broker_neighbors_) {
+    if (neighbor != from) net_.send(node_id(), neighbor, msg);
+  }
+  if (config_.routing != RoutingMode::kAdvertisement) return;
+  // Catch-up: installed subscriptions that intersect the new advertisement
+  // must now also be forwarded towards it.
+  if (!broker_neighbors_.contains(from)) return;
+  for (auto& [sub_id, forwards] : sub_forwards_) {
+    if (std::find(forwards.begin(), forwards.end(), from) != forwards.end()) continue;
+    if (engine_->destination_of(sub_id) == from) continue;  // sub came from that direction
+    const auto sub = engine_->subscription_of(sub_id);
+    if (!sub || !msg.adv->intersects(*sub)) continue;
+    net_.send(node_id(), from, SubscribeMsg{sub});
+    forwards.push_back(from);
+  }
+}
+
+void Broker::handle_unadvertise(const UnadvertiseMsg& msg, NodeId from) {
+  if (adverts_.erase(msg.id) == 0) return;
+  for (const auto neighbor : broker_neighbors_) {
+    if (neighbor != from) net_.send(node_id(), neighbor, msg);
+  }
+}
+
+void Broker::handle_var_update(const VarUpdateMsg& msg, NodeId from) {
+  ++stats_.var_updates;
+  registry_.set(msg.name, msg.value, now());
+  for (const auto neighbor : broker_neighbors_) {
+    if (neighbor != from) net_.send(node_id(), neighbor, msg);
+  }
+}
+
+}  // namespace evps

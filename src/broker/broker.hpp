@@ -1,0 +1,129 @@
+// A content-based publish/subscribe broker (PADRES-style, Section III-A).
+//
+// Brokers form an acyclic overlay. Each client connects to exactly one
+// broker. Subscriptions are disseminated either by flooding or towards
+// matching advertisements; publications follow the reverse paths of the
+// subscriptions they match. The broker delegates all matching (including
+// evolving-subscription handling) to its BrokerEngine and acts as the
+// EngineHost, supplying virtual time, timers and the broker-local evolution
+// variable registry.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "evolving/engine.hpp"
+#include "expr/variable_registry.hpp"
+#include "sim/network.hpp"
+
+namespace evps {
+
+enum class RoutingMode { kFlooding, kAdvertisement };
+
+struct BrokerConfig {
+  EngineConfig engine;
+  RoutingMode routing = RoutingMode::kFlooding;
+  /// Piggyback a snapshot of evolution-variable values on publications at
+  /// their entry broker (Section V-D extension; effective for LEES/CLEES).
+  bool snapshot_consistency = false;
+};
+
+struct BrokerStats {
+  std::uint64_t received_total = 0;
+  /// The paper's primary metric: subscription-related messages received
+  /// (subscribe + unsubscribe + subscription update), Section VI-A1.
+  std::uint64_t subscription_msgs = 0;
+  std::uint64_t subscribes = 0;
+  std::uint64_t unsubscribes = 0;
+  std::uint64_t sub_updates = 0;
+  std::uint64_t publications = 0;
+  std::uint64_t advertisements = 0;
+  std::uint64_t var_updates = 0;
+  std::uint64_t pubs_forwarded = 0;
+  std::uint64_t deliveries = 0;
+
+  void reset() { *this = BrokerStats{}; }
+};
+
+class Broker final : public NetworkNode, public EngineHost {
+ public:
+  Broker(std::string name, Network& net, BrokerConfig config);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Link two brokers with the given latency. The overlay must stay acyclic.
+  static void connect(Broker& a, Broker& b, Duration latency);
+
+  /// Classify `client` as a directly-attached client endpoint. Called by
+  /// PubSubClient::connect, which creates the network link.
+  void accept_client(NodeId client);
+
+  // --- EngineHost ----------------------------------------------------------
+  [[nodiscard]] SimTime now() const override { return net_.simulator().now(); }
+  void schedule(Duration delay, std::function<void()> fn) override {
+    net_.simulator().after(delay, std::move(fn));
+  }
+  [[nodiscard]] VariableRegistry& variables() override { return registry_; }
+
+  /// Set an evolution variable on this broker and flood the new value to all
+  /// other brokers (control-plane propagation). Clients are not notified.
+  void set_variable(const std::string& name, double value);
+
+  /// Set an evolution variable locally without propagation (e.g. per-broker
+  /// bandwidth, or locally-counted elapsed time).
+  void set_variable_local(const std::string& name, double value);
+
+  /// Broker self-protection (Section III-C): every `interval` until `until`,
+  /// set the local evolution variable `name` to this broker's outgoing
+  /// message rate (deliveries + forwarded publications per second) over the
+  /// last interval. Subscriptions can then self-throttle, e.g.
+  ///   distance < maxDist * (maxBw - outgoingBw)
+  /// matches everything when idle and nothing at full load.
+  void enable_load_monitor(const std::string& name, Duration interval, SimTime until);
+
+  // --- NetworkNode -----------------------------------------------------------
+  void on_message(const Envelope& env) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] BrokerEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const BrokerEngine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] const BrokerStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+  [[nodiscard]] const BrokerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t subscription_count() const noexcept { return engine_->size(); }
+
+ private:
+  void handle_subscribe(const SubscribeMsg& msg, NodeId from);
+  void handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from);
+  void handle_update(const SubscriptionUpdateMsg& msg, NodeId from);
+  void handle_publish(PublishMsg msg, NodeId from);
+  void handle_advertise(const AdvertiseMsg& msg, NodeId from);
+  void handle_unadvertise(const UnadvertiseMsg& msg, NodeId from);
+  void handle_var_update(const VarUpdateMsg& msg, NodeId from);
+
+  /// Broker neighbours a new subscription must be forwarded to.
+  [[nodiscard]] std::vector<NodeId> subscription_forward_targets(const Subscription& sub,
+                                                                 NodeId from) const;
+
+  Network& net_;
+  std::string name_;
+  BrokerConfig config_;
+  VariableRegistry registry_;
+  BrokerEnginePtr engine_;
+  std::set<NodeId> broker_neighbors_;
+  std::set<NodeId> client_neighbors_;
+  /// Broker neighbours each subscription was forwarded to; unsubscribes and
+  /// updates follow the same paths.
+  std::unordered_map<SubscriptionId, std::vector<NodeId>> sub_forwards_;
+  /// Advertisements with the neighbour they arrived from.
+  std::map<MessageId, std::pair<std::shared_ptr<const Advertisement>, NodeId>> adverts_;
+  BrokerStats stats_;
+};
+
+}  // namespace evps

@@ -1,0 +1,91 @@
+#include "broker/client.hpp"
+
+namespace evps {
+
+PubSubClient::PubSubClient(ClientId id, std::string name, Network& net)
+    : id_(id), name_(std::move(name)), net_(net) {
+  net_.attach(*this);
+}
+
+void PubSubClient::connect(Broker& broker, Duration latency) {
+  if (broker_ != nullptr) throw std::logic_error("client already connected");
+  net_.connect(node_id(), broker.node_id(), latency);
+  broker.accept_client(node_id());
+  broker_ = &broker;
+}
+
+SubscriptionId PubSubClient::subscribe(Subscription sub) {
+  if (broker_ == nullptr) throw std::logic_error("client not connected");
+  if (!sub.id().valid()) sub.set_id(make_subscription_id(id_, next_sub_seq_++));
+  sub.set_subscriber(id_);
+  sub.set_epoch(net_.simulator().now());
+  const SubscriptionId id = sub.id();
+  active_subs_.insert(id);
+  net_.send(node_id(), broker_->node_id(),
+            SubscribeMsg{std::make_shared<const Subscription>(std::move(sub))});
+  return id;
+}
+
+void PubSubClient::unsubscribe(SubscriptionId id) {
+  if (broker_ == nullptr) throw std::logic_error("client not connected");
+  active_subs_.erase(id);
+  net_.send(node_id(), broker_->node_id(), UnsubscribeMsg{id});
+}
+
+SubscriptionId PubSubClient::resubscribe(SubscriptionId old_id, Subscription replacement) {
+  unsubscribe(old_id);
+  return subscribe(std::move(replacement));
+}
+
+void PubSubClient::update_subscription(SubscriptionId id,
+                                       std::vector<std::optional<Value>> new_values) {
+  if (broker_ == nullptr) throw std::logic_error("client not connected");
+  net_.send(node_id(), broker_->node_id(), SubscriptionUpdateMsg{id, std::move(new_values)});
+}
+
+MessageId PubSubClient::publish(Publication pub) {
+  if (broker_ == nullptr) throw std::logic_error("client not connected");
+  const MessageId id = make_publication_id(id_, next_pub_seq_++);
+  pub.set_id(id);
+  pub.set_publisher(id_);
+  net_.send(node_id(), broker_->node_id(), PublishMsg{std::move(pub), nullptr});
+  return id;
+}
+
+MessageId PubSubClient::advertise(std::vector<Predicate> predicates) {
+  if (broker_ == nullptr) throw std::logic_error("client not connected");
+  const MessageId id = make_publication_id(id_, (std::uint32_t{1} << 24) + next_adv_seq_++);
+  auto adv = std::make_shared<Advertisement>(id, id_, std::move(predicates));
+  active_advs_.insert(id);
+  net_.send(node_id(), broker_->node_id(), AdvertiseMsg{std::move(adv)});
+  return id;
+}
+
+void PubSubClient::unadvertise(MessageId id) {
+  if (broker_ == nullptr) throw std::logic_error("client not connected");
+  active_advs_.erase(id);
+  net_.send(node_id(), broker_->node_id(), UnadvertiseMsg{id});
+}
+
+void PubSubClient::shutdown() {
+  if (broker_ == nullptr) throw std::logic_error("client not connected");
+  // Copy: unsubscribe()/unadvertise() mutate the active sets.
+  const auto subs = active_subs_;
+  for (const auto id : subs) unsubscribe(id);
+  const auto advs = active_advs_;
+  for (const auto id : advs) unadvertise(id);
+}
+
+void PubSubClient::send_var_update(const std::string& name, double value) {
+  if (broker_ == nullptr) throw std::logic_error("client not connected");
+  net_.send(node_id(), broker_->node_id(), VarUpdateMsg{name, value});
+}
+
+void PubSubClient::on_message(const Envelope& env) {
+  if (const auto* delivery = std::get_if<DeliveryMsg>(&env.msg)) {
+    deliveries_.push_back(Delivery{net_.simulator().now(), delivery->pub});
+    if (on_delivery) on_delivery(delivery->pub, net_.simulator().now());
+  }
+}
+
+}  // namespace evps

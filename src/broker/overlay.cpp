@@ -1,0 +1,28 @@
+#include "broker/overlay.hpp"
+
+namespace evps {
+
+std::vector<Broker*> Overlay::build_line(std::size_t n, const BrokerConfig& config,
+                                         Duration latency, const std::string& prefix) {
+  std::vector<Broker*> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(&add_broker(prefix + std::to_string(i), config));
+    if (i > 0) connect(*out[i - 1], *out[i], latency);
+  }
+  return out;
+}
+
+std::vector<Broker*> Overlay::build_star(std::size_t leaves, const BrokerConfig& config,
+                                         Duration latency, const std::string& prefix) {
+  std::vector<Broker*> out;
+  out.reserve(leaves + 1);
+  out.push_back(&add_broker(prefix + "_core", config));
+  for (std::size_t i = 0; i < leaves; ++i) {
+    out.push_back(&add_broker(prefix + "_edge" + std::to_string(i), config));
+    connect(*out[0], *out.back(), latency);
+  }
+  return out;
+}
+
+}  // namespace evps

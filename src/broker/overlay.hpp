@@ -1,0 +1,86 @@
+// Overlay: owns the brokers and clients of one simulated deployment and
+// provides topology-building helpers. The broker graph must be acyclic
+// (tree), as in PADRES-style deployments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "broker/client.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace evps {
+
+class Overlay {
+ public:
+  explicit Overlay(Simulator& sim) : net_(sim) {}
+
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  Broker& add_broker(std::string name, const BrokerConfig& config) {
+    brokers_.push_back(std::make_unique<Broker>(std::move(name), net_, config));
+    return *brokers_.back();
+  }
+
+  /// Create a client with the next sequential ClientId.
+  PubSubClient& add_client(std::string name) {
+    const ClientId id{next_client_id_++};
+    clients_.push_back(std::make_unique<PubSubClient>(id, std::move(name), net_));
+    return *clients_.back();
+  }
+
+  void connect(Broker& a, Broker& b, Duration latency) { Broker::connect(a, b, latency); }
+  void connect(PubSubClient& c, Broker& b, Duration latency) { c.connect(b, latency); }
+
+  /// Build `n` brokers in a line (b0 - b1 - ... - b(n-1)).
+  std::vector<Broker*> build_line(std::size_t n, const BrokerConfig& config, Duration latency,
+                                  const std::string& prefix = "broker");
+
+  /// Build a star: one core broker plus `leaves` edge brokers.
+  std::vector<Broker*> build_star(std::size_t leaves, const BrokerConfig& config,
+                                  Duration latency, const std::string& prefix = "broker");
+
+  [[nodiscard]] Network& network() noexcept { return net_; }
+  [[nodiscard]] Simulator& simulator() noexcept { return net_.simulator(); }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Broker>>& brokers() const noexcept {
+    return brokers_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<PubSubClient>>& clients() const noexcept {
+    return clients_;
+  }
+
+  /// Sum of subscription-related messages received across all brokers
+  /// (the paper's traffic metric numerator).
+  [[nodiscard]] std::uint64_t total_subscription_msgs() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& b : brokers_) total += b->stats().subscription_msgs;
+    return total;
+  }
+
+  /// Aggregate engine processing time (seconds) across all brokers.
+  [[nodiscard]] double total_engine_seconds() const noexcept {
+    double total = 0;
+    for (const auto& b : brokers_) total += b->engine().costs().total_seconds();
+    return total;
+  }
+
+  void reset_stats() {
+    for (const auto& b : brokers_) {
+      b->reset_stats();
+      b->engine().reset_costs();
+    }
+  }
+
+ private:
+  Network net_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::vector<std::unique_ptr<PubSubClient>> clients_;
+  std::uint64_t next_client_id_ = 1;
+};
+
+}  // namespace evps

@@ -1,0 +1,82 @@
+// Strongly-typed identifiers used across the system.
+//
+// Every entity in the pub/sub network (brokers, clients, subscriptions,
+// messages) is identified by a distinct ID type so that, e.g., a
+// SubscriptionId cannot be accidentally passed where a BrokerId is expected.
+#pragma once
+
+#include <atomic>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace evps {
+
+/// CRTP-free strong ID wrapper. `Tag` makes each instantiation a distinct
+/// type; the underlying representation is a 64-bit integer.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(std::uint64_t v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return std::string(Tag::prefix()) + std::to_string(value_);
+  }
+
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+  static constexpr StrongId invalid() noexcept { return StrongId{kInvalid}; }
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct BrokerTag { static constexpr const char* prefix() { return "B"; } };
+struct ClientTag { static constexpr const char* prefix() { return "C"; } };
+struct SubscriptionTag { static constexpr const char* prefix() { return "S"; } };
+struct MessageTag { static constexpr const char* prefix() { return "M"; } };
+struct NodeTag { static constexpr const char* prefix() { return "N"; } };
+
+using BrokerId = StrongId<BrokerTag>;
+using ClientId = StrongId<ClientTag>;
+using SubscriptionId = StrongId<SubscriptionTag>;
+using MessageId = StrongId<MessageTag>;
+/// Simulator-level node id (a broker or a client endpoint).
+using NodeId = StrongId<NodeTag>;
+
+/// Thread-safe monotonically increasing ID source.
+template <typename Id>
+class IdGenerator {
+ public:
+  constexpr IdGenerator() noexcept = default;
+  constexpr explicit IdGenerator(std::uint64_t first) noexcept : next_(first) {}
+
+  [[nodiscard]] Id next() noexcept { return Id{next_.fetch_add(1, std::memory_order_relaxed)}; }
+
+  void reset(std::uint64_t first = 0) noexcept { next_.store(first, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace evps
+
+namespace std {
+template <typename Tag>
+struct hash<evps::StrongId<Tag>> {
+  size_t operator()(evps::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

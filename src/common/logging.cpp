@@ -1,0 +1,29 @@
+#include "common/logging.hpp"
+
+namespace evps {
+
+namespace {
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  const std::scoped_lock lock(mutex_);
+  std::clog << "[" << level_name(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace evps

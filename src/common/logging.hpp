@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The experiment drivers run millions of simulated messages, so logging is
+// compiled around a cheap runtime level check and disabled (Warn) by default.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace evps {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+template <typename... Args>
+void log(LogLevel level, std::string_view component, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  (os << ... << args);
+  logger.write(level, component, os.str());
+}
+}  // namespace detail
+
+#define EVPS_LOG(level, component, ...) ::evps::detail::log(level, component, __VA_ARGS__)
+#define EVPS_TRACE(component, ...) EVPS_LOG(::evps::LogLevel::kTrace, component, __VA_ARGS__)
+#define EVPS_DEBUG(component, ...) EVPS_LOG(::evps::LogLevel::kDebug, component, __VA_ARGS__)
+#define EVPS_INFO(component, ...) EVPS_LOG(::evps::LogLevel::kInfo, component, __VA_ARGS__)
+#define EVPS_WARN(component, ...) EVPS_LOG(::evps::LogLevel::kWarn, component, __VA_ARGS__)
+#define EVPS_ERROR(component, ...) EVPS_LOG(::evps::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace evps

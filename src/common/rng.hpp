@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiment randomness flows through Rng instances seeded explicitly by
+// the workload configuration, so that every run is exactly reproducible
+// (required for the paper's false-positive/false-negative accounting, which
+// compares against a ground-truth run of "the same deterministic workload").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace evps {
+
+/// splitmix64 — used to expand a single seed into stream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : s_) word = splitmix64(seed);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Debiased multiply-shift (Lemire). span==0 means the full 64-bit range.
+    if (span == 0) return static_cast<std::int64_t>((*this)());
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < span) {
+      const std::uint64_t floor = (0 - span) % span;
+      while (l < floor) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * span;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// True with probability p.
+  [[nodiscard]] constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child stream; deterministic in (state, salt).
+  [[nodiscard]] constexpr Rng fork(std::uint64_t salt) noexcept {
+    std::uint64_t st = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng{splitmix64(st)};
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace evps

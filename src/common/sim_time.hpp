@@ -1,0 +1,104 @@
+// Virtual time used by the discrete-event simulator and by all
+// evolution-variable computations.
+//
+// Time is an integer count of microseconds since the start of a run. Using a
+// fixed-point integer representation (rather than floating point seconds)
+// keeps event ordering exact and runs reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace evps {
+
+class Duration;
+
+/// A point in virtual time, microsecond resolution.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime from_micros(std::int64_t us) noexcept { return SimTime{us}; }
+  [[nodiscard]] static constexpr SimTime from_millis(std::int64_t ms) noexcept { return SimTime{ms * 1000}; }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) noexcept {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() noexcept {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return us_; }
+  [[nodiscard]] constexpr std::int64_t millis() const noexcept { return us_ / 1000; }
+  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  constexpr SimTime& operator+=(Duration d) noexcept;
+  constexpr SimTime& operator-=(Duration d) noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.seconds() << "s";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) noexcept : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// A span of virtual time, microsecond resolution. May be negative.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) noexcept { return Duration{us}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) noexcept { return Duration{ms * 1000}; }
+  [[nodiscard]] static constexpr Duration seconds(double s) noexcept {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr Duration minutes(double m) noexcept { return seconds(m * 60.0); }
+  [[nodiscard]] static constexpr Duration zero() noexcept { return Duration{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const noexcept { return us_; }
+  [[nodiscard]] constexpr double count_seconds() const noexcept { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept { return Duration{a.us_ + b.us_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept { return Duration{a.us_ - b.us_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept { return Duration{a.us_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return Duration{a.us_ * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) noexcept { return Duration{a.us_ / k}; }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.count_seconds() << "s";
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) noexcept : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+[[nodiscard]] constexpr SimTime operator+(SimTime t, Duration d) noexcept {
+  return SimTime::from_micros(t.micros() + d.count_micros());
+}
+[[nodiscard]] constexpr SimTime operator-(SimTime t, Duration d) noexcept {
+  return SimTime::from_micros(t.micros() - d.count_micros());
+}
+[[nodiscard]] constexpr Duration operator-(SimTime a, SimTime b) noexcept {
+  return Duration::micros(a.micros() - b.micros());
+}
+
+constexpr SimTime& SimTime::operator+=(Duration d) noexcept {
+  us_ += d.count_micros();
+  return *this;
+}
+constexpr SimTime& SimTime::operator-=(Duration d) noexcept {
+  us_ -= d.count_micros();
+  return *this;
+}
+
+}  // namespace evps

@@ -1,0 +1,59 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+
+namespace evps {
+
+std::vector<std::string_view> split_quoted(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  bool in_quote = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\'') in_quote = !in_quote;
+    if (c == sep && !in_quote) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(text.substr(start));
+  return out;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(text.substr(start));
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace evps

@@ -1,0 +1,25 @@
+// Small string helpers shared across the message codec and workload parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evps {
+
+/// Split `text` on `sep`, honouring single-quoted segments (a separator
+/// inside '...' does not split). Empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split_quoted(std::string_view text, char sep);
+
+/// Plain split on a separator character. Empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Join items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace evps

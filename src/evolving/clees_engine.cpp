@@ -1,0 +1,108 @@
+#include "evolving/clees_engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace evps {
+
+void CleesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
+  const auto& sub = *entry.sub;
+  if (!sub.is_evolving()) {
+    matcher_->add(sub.id(), sub.predicates());
+    return;
+  }
+  auto static_part = sub.static_predicates();
+  EvolvingPart part;
+  part.id = sub.id();
+  part.sub = entry.sub;
+  part.evolving_preds = sub.evolving_predicates();
+  part.has_static_part = !static_part.empty();
+  if (part.has_static_part) matcher_->add(sub.id(), static_part);
+  storage_[entry.dest].push_back(std::move(part));
+  ++evolving_count_;
+}
+
+void CleesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
+  const auto& sub = *entry.sub;
+  if (!sub.is_evolving()) {
+    matcher_->remove(sub.id());
+    return;
+  }
+  if (!sub.is_fully_evolving()) matcher_->remove(sub.id());
+  const auto it = storage_.find(entry.dest);
+  if (it != storage_.end()) {
+    auto& parts = it->second;
+    const auto pos = std::find_if(parts.begin(), parts.end(),
+                                  [&](const EvolvingPart& p) { return p.id == sub.id(); });
+    if (pos != parts.end()) {
+      parts.erase(pos);
+      --evolving_count_;
+    }
+    if (parts.empty()) storage_.erase(it);
+  }
+}
+
+bool CleesEngine::static_preds_match(const std::vector<Predicate>& preds,
+                                     const Publication& pub) {
+  for (const auto& p : preds) {
+    const Value* v = pub.get(p.attribute());
+    if (v == nullptr || !p.matches(*v)) return false;
+  }
+  return true;
+}
+
+void CleesEngine::do_match(const Publication& pub, const VariableSnapshot* snapshot,
+                           EngineHost& host, std::vector<NodeId>& destinations) {
+  std::vector<SubscriptionId> m1;
+  {
+    const ScopedTimer timer(costs_.match);
+    matcher_->match(pub, m1);
+  }
+  std::unordered_set<SubscriptionId> m1_set(m1.begin(), m1.end());
+
+  std::unordered_set<NodeId> done;
+  for (const auto id : m1) {
+    const auto& entry = installed().at(id);
+    if (!entry.sub->is_evolving()) {
+      destinations.push_back(entry.dest);
+      done.insert(entry.dest);
+    }
+  }
+
+  const ScopedTimer timer(costs_.lazy_eval);
+  const SimTime now = host.now();
+  const auto& registry = host.variables();
+  for (auto& [dest, parts] : storage_) {
+    if (done.contains(dest)) continue;
+    for (auto& part : parts) {
+      if (part.has_static_part && !m1_set.contains(part.id)) continue;
+
+      bool matched = false;
+      // Snapshot-consistency mode bypasses the cache: cached versions are
+      // anchored at broker-local time, which a piggybacked snapshot
+      // invalidates (the hybrid is future work in the paper).
+      if (snapshot == nullptr && now < part.cache.expires) {
+        ++costs_.cache_hits;
+        matched = static_preds_match(part.cache.preds, pub);
+      } else {
+        ++costs_.cache_misses;
+        ++costs_.lazy_evaluations;
+        const EvalScope scope = make_scope(*part.sub, now, snapshot, registry, pub.entry_time());
+        std::vector<Predicate> version;
+        version.reserve(part.evolving_preds.size());
+        for (const auto& p : part.evolving_preds) version.push_back(p.materialize(scope));
+        matched = static_preds_match(version, pub);
+        if (snapshot == nullptr) {
+          part.cache.preds = std::move(version);
+          part.cache.expires = now + effective_tt(*part.sub);
+        }
+      }
+      if (matched) {
+        destinations.push_back(dest);
+        break;  // early exit: destination settled
+      }
+    }
+  }
+}
+
+}  // namespace evps

@@ -1,0 +1,58 @@
+// Cached Lazy Evaluation Evolving Subscriptions (CLEES) — Sections IV-C, V-C.
+//
+// Like LEES, subscriptions are split into a static part (standard matcher)
+// and an evolving part held in the Lazy Evolution Storage. On the first
+// publication that probes a subscription, the evolving part is materialised
+// into a concrete version which is cached for the subscription's time
+// threshold (TT); until it expires, subsequent publications match against
+// the cached version with plain predicate tests (cache hit). After expiry
+// the next probe triggers re-materialisation (cache miss).
+//
+// The cache is kept separate from the standard matcher: inserting versions
+// into the matcher would leverage its index but raise contention on the
+// shared structure (Section V-C) — and would re-introduce VES's maintenance
+// scaling, which CLEES exists to avoid.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "evolving/engine.hpp"
+
+namespace evps {
+
+class CleesEngine final : public BrokerEngine {
+ public:
+  explicit CleesEngine(const EngineConfig& config) : BrokerEngine(config) {}
+
+  [[nodiscard]] std::size_t storage_size() const noexcept { return evolving_count_; }
+
+ protected:
+  void do_add(const Installed& entry, EngineHost& host) override;
+  void do_remove(const Installed& entry, EngineHost& host) override;
+  void do_match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
+                std::vector<NodeId>& destinations) override;
+
+ private:
+  struct CachedVersion {
+    std::vector<Predicate> preds;  // materialised (static) evolving part
+    SimTime expires = SimTime::zero();
+  };
+
+  struct EvolvingPart {
+    SubscriptionId id;
+    SubscriptionPtr sub;
+    std::vector<Predicate> evolving_preds;
+    bool has_static_part = false;
+    CachedVersion cache;
+  };
+
+  static bool static_preds_match(const std::vector<Predicate>& preds, const Publication& pub);
+
+  // Lazy Evolution Storage: evolving parts grouped per destination.
+  std::map<NodeId, std::vector<EvolvingPart>> storage_;
+  std::size_t evolving_count_ = 0;
+};
+
+}  // namespace evps

@@ -1,0 +1,135 @@
+#include "evolving/engine.hpp"
+
+#include <algorithm>
+
+#include "evolving/clees_engine.hpp"
+#include "evolving/hybrid_engine.hpp"
+#include "evolving/lees_engine.hpp"
+#include "evolving/parametric_engine.hpp"
+#include "evolving/static_engine.hpp"
+#include "evolving/ves_engine.hpp"
+
+namespace evps {
+
+const char* to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kStatic: return "static";
+    case EngineKind::kParametric: return "parametric";
+    case EngineKind::kVes: return "VES";
+    case EngineKind::kLees: return "LEES";
+    case EngineKind::kClees: return "CLEES";
+    case EngineKind::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+BrokerEngine::BrokerEngine(const EngineConfig& config)
+    : config_(config), matcher_(make_matcher(config.matcher)) {}
+
+void BrokerEngine::add(const SubscriptionPtr& sub, NodeId dest, EngineHost& host,
+                       bool dest_is_broker) {
+  if (!sub) throw std::invalid_argument("cannot install a null subscription");
+  if (!sub->id().valid()) throw std::invalid_argument("subscription must carry a valid id");
+  const auto [it, inserted] = subs_.emplace(sub->id(), Installed{sub, dest, dest_is_broker});
+  if (!inserted) throw std::invalid_argument("duplicate subscription id " + sub->id().str());
+  try {
+    do_add(it->second, host);
+  } catch (...) {
+    subs_.erase(it);
+    throw;
+  }
+}
+
+bool BrokerEngine::remove(SubscriptionId id, EngineHost& host) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  do_remove(it->second, host);
+  subs_.erase(it);
+  return true;
+}
+
+bool BrokerEngine::update(SubscriptionId id, const std::vector<std::optional<Value>>& new_values,
+                          EngineHost& host) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  const ScopedTimer timer(costs_.maintenance);
+
+  const Installed old_entry = it->second;
+  const auto& old_sub = *old_entry.sub;
+  if (new_values.size() > old_sub.predicates().size()) {
+    throw std::invalid_argument("update carries more values than predicates");
+  }
+  // Rebuild predicates with replaced operands.
+  std::vector<Predicate> preds;
+  preds.reserve(old_sub.predicates().size());
+  for (std::size_t i = 0; i < old_sub.predicates().size(); ++i) {
+    const auto& p = old_sub.predicates()[i];
+    if (i < new_values.size() && new_values[i].has_value()) {
+      preds.push_back(Predicate{p.attribute(), p.op(), *new_values[i]});
+    } else {
+      preds.push_back(p);
+    }
+  }
+  Subscription rebuilt{old_sub.id(), old_sub.subscriber(), std::move(preds)};
+  rebuilt.set_mei(old_sub.mei());
+  rebuilt.set_tt(old_sub.tt());
+  rebuilt.set_validity(old_sub.validity());
+  rebuilt.set_epoch(old_sub.epoch());
+
+  do_remove(old_entry, host);
+  it->second.sub = std::make_shared<const Subscription>(std::move(rebuilt));
+  do_add(it->second, host);
+  return true;
+}
+
+void BrokerEngine::match(const Publication& pub, const VariableSnapshot* snapshot,
+                         EngineHost& host, std::vector<NodeId>& destinations) {
+  do_match(pub, snapshot, host, destinations);
+  std::sort(destinations.begin(), destinations.end());
+  destinations.erase(std::unique(destinations.begin(), destinations.end()), destinations.end());
+}
+
+NodeId BrokerEngine::destination_of(SubscriptionId id) const noexcept {
+  const auto it = subs_.find(id);
+  return it == subs_.end() ? NodeId::invalid() : it->second.dest;
+}
+
+SubscriptionPtr BrokerEngine::subscription_of(SubscriptionId id) const noexcept {
+  const auto it = subs_.find(id);
+  return it == subs_.end() ? nullptr : it->second.sub;
+}
+
+EvalScope BrokerEngine::make_scope(const Subscription& sub, SimTime now,
+                                   const VariableSnapshot* snapshot,
+                                   const VariableRegistry& registry, SimTime entry_time) {
+  if (snapshot != nullptr) {
+    // Snapshot consistency (Section V-D): evaluate as if at the entry-point
+    // broker at the instant the publication entered the system.
+    EvalScope scope{&registry, entry_time, sub.epoch()};
+    for (const auto& [name, value] : *snapshot) scope.bind(name, value);
+    return scope;
+  }
+  return EvalScope{&registry, now, sub.epoch()};
+}
+
+Duration BrokerEngine::effective_mei(const Subscription& sub) const noexcept {
+  return sub.mei() > Duration::zero() ? sub.mei() : config_.default_mei;
+}
+
+Duration BrokerEngine::effective_tt(const Subscription& sub) const noexcept {
+  return sub.tt() > Duration::zero() ? sub.tt() : config_.default_tt;
+}
+
+BrokerEnginePtr make_engine(const EngineConfig& config) {
+  switch (config.kind) {
+    case EngineKind::kStatic: return std::make_unique<StaticEngine>(config);
+    case EngineKind::kParametric: return std::make_unique<ParametricEngine>(config);
+    case EngineKind::kVes: return std::make_unique<VesEngine>(config);
+    case EngineKind::kLees: return std::make_unique<LeesEngine>(config);
+    case EngineKind::kClees: return std::make_unique<CleesEngine>(config);
+    case EngineKind::kHybrid: return std::make_unique<HybridEngine>(config);
+  }
+  throw std::invalid_argument("unknown engine kind");
+}
+
+}  // namespace evps

@@ -1,0 +1,201 @@
+// Broker-side subscription engine interface.
+//
+// A BrokerEngine owns everything a broker needs to match publications
+// against installed subscriptions: the standard matcher plus, for the
+// evolving designs, the evolution machinery of Section IV/V:
+//
+//   * StaticEngine     — plain matcher; evolving subscriptions rejected.
+//                        Used by the resubscription baseline.
+//   * ParametricEngine — plain matcher + in-place subscription updates
+//                        (the parametric-subscriptions baseline [12]).
+//   * VesEngine        — Versioned Evolving Subscriptions: materialised
+//                        versions kept in the matcher, refreshed per MEI via
+//                        the Evolving Subscription Queue.
+//   * LeesEngine       — Lazy Evaluation: evolving predicates evaluated on
+//                        every publication (LEME).
+//   * CleesEngine      — Cached lazy evaluation with time threshold TT.
+//   * HybridEngine     — adaptive per-subscription switch between
+//                        timer-refreshed versions (VES-like) and lazy
+//                        caching (CLEES-like); the paper's future work.
+//
+// Matching is destination-oriented: the broker registers each subscription
+// with the next hop (client or neighbour broker) it was received from, and
+// match() returns the set of destinations the publication must be forwarded
+// to. This enables the paper's per-client early-exit optimisation in LEES
+// (Section VI-C, Figure 10(b)).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "expr/variable_registry.hpp"
+#include "matching/matcher.hpp"
+#include "message/messages.hpp"
+#include "message/subscription.hpp"
+#include "sim/stats.hpp"
+
+namespace evps {
+
+/// Services the hosting broker provides to an engine: virtual time, timer
+/// scheduling and the broker-local evolution variable registry.
+class EngineHost {
+ public:
+  virtual ~EngineHost() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+  /// Schedule `fn` to run after `delay` of virtual time.
+  virtual void schedule(Duration delay, std::function<void()> fn) = 0;
+  [[nodiscard]] virtual VariableRegistry& variables() = 0;
+  [[nodiscard]] const VariableRegistry& variables() const {
+    return const_cast<EngineHost*>(this)->variables();
+  }
+};
+
+/// Cost accounting (paper metrics 3 and 4, Section VI-A).
+struct EngineCosts {
+  /// Per-operation time spent maintaining subscription versions
+  /// (VES evolution updates, parametric updates), in seconds.
+  Summary maintenance;
+  /// Per-publication time spent on lazy evaluation (LEES/CLEES), in seconds.
+  Summary lazy_eval;
+  /// Per-publication time spent in the standard matcher, in seconds.
+  Summary match;
+
+  std::uint64_t evolutions = 0;        // VES version replacements
+  std::uint64_t lazy_evaluations = 0;  // LEES/CLEES on-demand evaluations
+  std::uint64_t cache_hits = 0;        // CLEES
+  std::uint64_t cache_misses = 0;      // CLEES
+
+  /// Total engine processing time in seconds (maintenance + lazy + match).
+  [[nodiscard]] double total_seconds() const noexcept {
+    return maintenance.sum() + lazy_eval.sum() + match.sum();
+  }
+
+  void reset() {
+    *this = EngineCosts{};
+  }
+};
+
+enum class EngineKind { kStatic, kParametric, kVes, kLees, kClees, kHybrid };
+
+[[nodiscard]] const char* to_string(EngineKind kind) noexcept;
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::kStatic;
+  MatcherKind matcher = MatcherKind::kCounting;
+  /// Fallback MEI/TT for subscriptions that do not specify one.
+  Duration default_mei = Duration::seconds(1.0);
+  Duration default_tt = Duration::seconds(1.0);
+  /// VES extension (Section IV-A): versions installed for *broker* next hops
+  /// are widened to cover the whole upcoming MEI window, trading false
+  /// positives on the forwarding path for the elimination of staleness
+  /// false negatives. Versions for directly attached subscribers stay exact.
+  bool overestimate_forwarding = false;
+};
+
+class BrokerEngine {
+ public:
+  explicit BrokerEngine(const EngineConfig& config);
+  virtual ~BrokerEngine() = default;
+  BrokerEngine(const BrokerEngine&) = delete;
+  BrokerEngine& operator=(const BrokerEngine&) = delete;
+
+  /// Install `sub` with next-hop `dest`. `host` supplies time/timers (may be
+  /// needed immediately for VES). `dest_is_broker` marks forwarding hops
+  /// (enables the overestimation extension). Duplicate ids throw.
+  void add(const SubscriptionPtr& sub, NodeId dest, EngineHost& host,
+           bool dest_is_broker = false);
+
+  /// Remove a subscription; returns false if unknown.
+  bool remove(SubscriptionId id, EngineHost& host);
+
+  /// Parametric update: replace the constant operand of predicate i with
+  /// new_values[i] (engaged entries only). The subscription keeps its id and
+  /// destination. Returns false if unknown.
+  bool update(SubscriptionId id, const std::vector<std::optional<Value>>& new_values,
+              EngineHost& host);
+
+  /// Match `pub` and return the destinations it must be forwarded to
+  /// (deduplicated, ascending). `snapshot` carries piggybacked variable
+  /// values in snapshot-consistency mode: when present, evolving predicates
+  /// evaluate at the publication's entry time with those values.
+  void match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
+             std::vector<NodeId>& destinations);
+
+  [[nodiscard]] std::size_t size() const noexcept { return subs_.size(); }
+  [[nodiscard]] bool contains(SubscriptionId id) const noexcept { return subs_.contains(id); }
+  [[nodiscard]] const EngineCosts& costs() const noexcept { return costs_; }
+  void reset_costs() noexcept { costs_.reset(); }
+  [[nodiscard]] EngineKind kind() const noexcept { return config_.kind; }
+
+  /// Destination registered for `id` (invalid NodeId if unknown).
+  [[nodiscard]] NodeId destination_of(SubscriptionId id) const noexcept;
+
+  /// The (current) subscription object installed under `id`, or null.
+  [[nodiscard]] SubscriptionPtr subscription_of(SubscriptionId id) const noexcept;
+
+ protected:
+  struct Installed {
+    SubscriptionPtr sub;
+    NodeId dest;
+    bool dest_is_broker = false;
+  };
+
+  // Subclass hooks. The base class maintains subs_ bookkeeping.
+  virtual void do_add(const Installed& entry, EngineHost& host) = 0;
+  virtual void do_remove(const Installed& entry, EngineHost& host) = 0;
+  virtual void do_match(const Publication& pub, const VariableSnapshot* snapshot,
+                        EngineHost& host, std::vector<NodeId>& destinations) = 0;
+
+  /// Build the evaluation environment for an evolving subscription. In
+  /// snapshot mode the scope is anchored at the publication entry time and
+  /// the snapshot values shadow the local registry.
+  [[nodiscard]] static EvalScope make_scope(const Subscription& sub, SimTime now,
+                                            const VariableSnapshot* snapshot,
+                                            const VariableRegistry& registry,
+                                            SimTime entry_time);
+
+  [[nodiscard]] const std::unordered_map<SubscriptionId, Installed>& installed() const noexcept {
+    return subs_;
+  }
+
+  /// Effective MEI/TT for a subscription (subscription value, or config
+  /// default when the subscription carries a non-positive one).
+  [[nodiscard]] Duration effective_mei(const Subscription& sub) const noexcept;
+  [[nodiscard]] Duration effective_tt(const Subscription& sub) const noexcept;
+
+  EngineConfig config_;
+  MatcherPtr matcher_;
+  EngineCosts costs_;
+
+  /// RAII timer recording into a Summary (seconds).
+  class ScopedTimer {
+   public:
+    explicit ScopedTimer(Summary& target) noexcept
+        : target_(target), start_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+      const auto end = std::chrono::steady_clock::now();
+      target_.record(std::chrono::duration<double>(end - start_).count());
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+   private:
+    Summary& target_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  std::unordered_map<SubscriptionId, Installed> subs_;
+};
+
+using BrokerEnginePtr = std::unique_ptr<BrokerEngine>;
+
+[[nodiscard]] BrokerEnginePtr make_engine(const EngineConfig& config);
+
+}  // namespace evps

@@ -1,0 +1,39 @@
+#include "evolving/esq.hpp"
+
+namespace evps {
+
+void EvolvingSubscriptionQueue::push(SubscriptionId id, SimTime due) {
+  const std::uint64_t gen = next_generation_++;
+  live_[id] = gen;  // invalidates any previous entry for this id
+  heap_.push(Entry{due, gen, id});
+}
+
+bool EvolvingSubscriptionQueue::remove(SubscriptionId id) { return live_.erase(id) > 0; }
+
+void EvolvingSubscriptionQueue::drop_stale() const {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    const auto it = live_.find(top.id);
+    if (it != live_.end() && it->second == top.generation) return;
+    heap_.pop();
+  }
+}
+
+std::optional<SimTime> EvolvingSubscriptionQueue::next_due() const {
+  drop_stale();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().due;
+}
+
+void EvolvingSubscriptionQueue::pop_due(SimTime now, std::vector<SubscriptionId>& out) {
+  for (;;) {
+    drop_stale();
+    if (heap_.empty() || heap_.top().due > now) return;
+    const Entry top = heap_.top();
+    heap_.pop();
+    live_.erase(top.id);
+    out.push_back(top.id);
+  }
+}
+
+}  // namespace evps

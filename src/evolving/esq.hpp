@@ -1,0 +1,62 @@
+// Evolving Subscription Queue (ESQ) — Section V-A.
+//
+// Subscriptions are "automatically ordered by the time remaining until they
+// are scheduled to evolve again, as indicated by their minimal evolution
+// interval (MEI)". Implemented as a binary heap with lazy invalidation: each
+// id has at most one live entry; re-pushing or removing an id invalidates
+// the stale heap entry, which is skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+
+namespace evps {
+
+class EvolvingSubscriptionQueue {
+ public:
+  /// Schedule (or reschedule) `id` to evolve at `due`.
+  void push(SubscriptionId id, SimTime due);
+
+  /// Cancel the scheduled evolution of `id`; returns false if not queued.
+  bool remove(SubscriptionId id);
+
+  [[nodiscard]] bool contains(SubscriptionId id) const noexcept { return live_.contains(id); }
+
+  /// Number of live entries.
+  [[nodiscard]] std::size_t size() const noexcept { return live_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
+
+  /// Earliest live due time, if any.
+  [[nodiscard]] std::optional<SimTime> next_due() const;
+
+  /// Pop every entry with due time <= now, appending ids in due order.
+  void pop_due(SimTime now, std::vector<SubscriptionId>& out);
+
+ private:
+  struct Entry {
+    SimTime due;
+    std::uint64_t generation;
+    SubscriptionId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.due != b.due) return a.due > b.due;
+      return a.generation > b.generation;
+    }
+  };
+
+  void drop_stale() const;
+
+  // `heap_`/`live_` are mutable so that next_due() can prune lazily.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<SubscriptionId, std::uint64_t> live_;  // id -> live generation
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace evps

@@ -1,0 +1,171 @@
+#include "evolving/hybrid_engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace evps {
+
+std::size_t HybridEngine::versioned_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [dest, parts] : storage_) {
+    for (const auto& part : parts) {
+      if (part.mode == Mode::kVersioned) ++n;
+    }
+  }
+  return n;
+}
+
+void HybridEngine::do_add(const Installed& entry, EngineHost& host) {
+  const auto& sub = *entry.sub;
+  if (!sub.is_evolving()) {
+    matcher_->add(sub.id(), sub.predicates());
+    return;
+  }
+  ensure_timer(host);
+  auto static_part = sub.static_predicates();
+  EvolvingPart part;
+  part.id = sub.id();
+  part.sub = entry.sub;
+  part.evolving_preds = sub.evolving_predicates();
+  part.has_static_part = !static_part.empty();
+  if (part.has_static_part) matcher_->add(sub.id(), static_part);
+  storage_[entry.dest].push_back(std::move(part));
+  ++evolving_count_;
+}
+
+void HybridEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
+  const auto& sub = *entry.sub;
+  if (!sub.is_evolving()) {
+    matcher_->remove(sub.id());
+    return;
+  }
+  if (!sub.is_fully_evolving()) matcher_->remove(sub.id());
+  const auto it = storage_.find(entry.dest);
+  if (it != storage_.end()) {
+    auto& parts = it->second;
+    const auto pos = std::find_if(parts.begin(), parts.end(),
+                                  [&](const EvolvingPart& p) { return p.id == sub.id(); });
+    if (pos != parts.end()) {
+      parts.erase(pos);
+      --evolving_count_;
+    }
+    if (parts.empty()) storage_.erase(it);
+  }
+}
+
+void HybridEngine::ensure_timer(EngineHost& host) {
+  timer_host_ = &host;
+  if (timer_running_) return;
+  timer_running_ = true;
+  host.schedule(tick_period(), [this]() { on_tick(*timer_host_); });
+}
+
+void HybridEngine::on_tick(EngineHost& host) {
+  // 1. Refresh versioned parts (the VES-like maintenance work).
+  // 2. Re-classify every part from its probe count this window: versioned
+  //    iff it was probed more often than it would be refreshed.
+  const double window_s = tick_period().count_seconds();
+  const double refreshes_per_window =
+      window_s / std::max(1e-9, config_.default_mei.count_seconds());
+  for (auto& [dest, parts] : storage_) {
+    for (auto& part : parts) {
+      if (part.mode == Mode::kVersioned) refresh(part, host);
+      const auto probes = part.probes_this_window;
+      part.probes_this_window = 0;
+      const Mode wanted = static_cast<double>(probes) > refreshes_per_window
+                              ? Mode::kVersioned
+                              : Mode::kLazy;
+      if (wanted == part.mode) continue;
+      part.mode = wanted;
+      if (wanted == Mode::kVersioned) {
+        refresh(part, host);  // enter versioned mode with a fresh version
+      } else {
+        part.version_expires = SimTime::zero();  // lazy mode re-evaluates
+      }
+    }
+  }
+  if (evolving_count_ == 0) {
+    timer_running_ = false;  // go quiescent until the next evolving add
+    return;
+  }
+  host.schedule(tick_period(), [this]() { on_tick(*timer_host_); });
+}
+
+void HybridEngine::refresh(EvolvingPart& part, EngineHost& host) {
+  const ScopedTimer timer(costs_.maintenance);
+  const EvalScope scope = part.sub->scope(&host.variables(), host.now());
+  part.version.clear();
+  part.version.reserve(part.evolving_preds.size());
+  for (const auto& p : part.evolving_preds) part.version.push_back(p.materialize(scope));
+  ++costs_.evolutions;
+}
+
+bool HybridEngine::preds_match(const std::vector<Predicate>& preds, const Publication& pub) {
+  for (const auto& p : preds) {
+    const Value* v = pub.get(p.attribute());
+    if (v == nullptr || !p.matches(*v)) return false;
+  }
+  return true;
+}
+
+void HybridEngine::do_match(const Publication& pub, const VariableSnapshot* snapshot,
+                            EngineHost& host, std::vector<NodeId>& destinations) {
+  std::vector<SubscriptionId> m1;
+  {
+    const ScopedTimer timer(costs_.match);
+    matcher_->match(pub, m1);
+  }
+  std::unordered_set<SubscriptionId> m1_set(m1.begin(), m1.end());
+
+  std::unordered_set<NodeId> done;
+  for (const auto id : m1) {
+    const auto& entry = installed().at(id);
+    if (!entry.sub->is_evolving()) {
+      destinations.push_back(entry.dest);
+      done.insert(entry.dest);
+    }
+  }
+
+  const ScopedTimer timer(costs_.lazy_eval);
+  const SimTime now = host.now();
+  const auto& registry = host.variables();
+  for (auto& [dest, parts] : storage_) {
+    if (done.contains(dest)) continue;
+    for (auto& part : parts) {
+      if (part.has_static_part && !m1_set.contains(part.id)) continue;
+      ++part.probes_this_window;
+
+      bool matched = false;
+      if (snapshot != nullptr) {
+        // Snapshot mode: evaluate at the entry instant, bypassing versions.
+        ++costs_.lazy_evaluations;
+        const EvalScope scope = make_scope(*part.sub, now, snapshot, registry, pub.entry_time());
+        std::vector<Predicate> version;
+        version.reserve(part.evolving_preds.size());
+        for (const auto& p : part.evolving_preds) version.push_back(p.materialize(scope));
+        matched = preds_match(version, pub);
+      } else if (part.mode == Mode::kVersioned && !part.version.empty()) {
+        ++costs_.cache_hits;
+        matched = preds_match(part.version, pub);
+      } else if (now < part.version_expires && !part.version.empty()) {
+        ++costs_.cache_hits;
+        matched = preds_match(part.version, pub);
+      } else {
+        ++costs_.cache_misses;
+        ++costs_.lazy_evaluations;
+        const EvalScope scope = part.sub->scope(&registry, now);
+        part.version.clear();
+        part.version.reserve(part.evolving_preds.size());
+        for (const auto& p : part.evolving_preds) part.version.push_back(p.materialize(scope));
+        part.version_expires = now + effective_tt(*part.sub);
+        matched = preds_match(part.version, pub);
+      }
+      if (matched) {
+        destinations.push_back(dest);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace evps

@@ -1,0 +1,76 @@
+// Hybrid evolving engine — the adaptive VES/CLEES combination the paper
+// leaves as future work (Section IV-C: "A truly hybrid solution which can
+// adaptively switch between the two represents an interesting avenue").
+//
+// Rationale: VES cost is proportional to the evolution (refresh) rate and
+// independent of publications; CLEES cost is proportional to the rate of
+// publications that probe a subscription. The cheaper strategy therefore
+// depends on the per-subscription probe rate:
+//
+//   probes/sec > refreshes/sec (1/MEI)  ->  keep a timer-refreshed version
+//   probes/sec < refreshes/sec          ->  evaluate lazily, cache for TT
+//
+// Each evolving part starts lazy and is re-classified at the end of every
+// observation window from its measured probe count. Versioned parts are
+// re-materialised on the engine's periodic tick (every MEI), like VES but in
+// the engine-local store rather than the shared matcher (avoiding VES's
+// population-bound maintenance); lazy parts behave exactly like CLEES.
+//
+// Cost accounting: version refreshes -> maintenance + evolutions; lazy
+// materialisations -> lazy_eval + cache_misses; version/cache probe tests ->
+// cache_hits.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "evolving/engine.hpp"
+
+namespace evps {
+
+class HybridEngine final : public BrokerEngine {
+ public:
+  explicit HybridEngine(const EngineConfig& config) : BrokerEngine(config) {}
+
+  [[nodiscard]] std::size_t storage_size() const noexcept { return evolving_count_; }
+  /// Number of evolving parts currently in versioned (VES-like) mode.
+  [[nodiscard]] std::size_t versioned_count() const noexcept;
+  [[nodiscard]] std::size_t lazy_count() const noexcept {
+    return evolving_count_ - versioned_count();
+  }
+
+ protected:
+  void do_add(const Installed& entry, EngineHost& host) override;
+  void do_remove(const Installed& entry, EngineHost& host) override;
+  void do_match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
+                std::vector<NodeId>& destinations) override;
+
+ private:
+  enum class Mode { kLazy, kVersioned };
+
+  struct EvolvingPart {
+    SubscriptionId id;
+    SubscriptionPtr sub;
+    std::vector<Predicate> evolving_preds;
+    bool has_static_part = false;
+    Mode mode = Mode::kLazy;
+    std::vector<Predicate> version;  // materialised version (both modes)
+    SimTime version_expires = SimTime::zero();  // lazy mode only
+    std::uint64_t probes_this_window = 0;
+  };
+
+  void ensure_timer(EngineHost& host);
+  void on_tick(EngineHost& host);
+  void refresh(EvolvingPart& part, EngineHost& host);
+
+  [[nodiscard]] Duration tick_period() const noexcept { return config_.default_mei; }
+
+  static bool preds_match(const std::vector<Predicate>& preds, const Publication& pub);
+
+  std::map<NodeId, std::vector<EvolvingPart>> storage_;
+  std::size_t evolving_count_ = 0;
+  bool timer_running_ = false;
+  EngineHost* timer_host_ = nullptr;
+};
+
+}  // namespace evps

@@ -1,0 +1,93 @@
+#include "evolving/lees_engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace evps {
+
+void LeesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
+  const auto& sub = *entry.sub;
+  if (!sub.is_evolving()) {
+    matcher_->add(sub.id(), sub.predicates());
+    return;
+  }
+  auto static_part = sub.static_predicates();
+  EvolvingPart part;
+  part.id = sub.id();
+  part.sub = entry.sub;
+  part.evolving_preds = sub.evolving_predicates();
+  part.has_static_part = !static_part.empty();
+  if (part.has_static_part) matcher_->add(sub.id(), static_part);
+  leme_[entry.dest].push_back(std::move(part));
+  ++evolving_count_;
+}
+
+void LeesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
+  const auto& sub = *entry.sub;
+  if (!sub.is_evolving()) {
+    matcher_->remove(sub.id());
+    return;
+  }
+  if (!sub.is_fully_evolving()) matcher_->remove(sub.id());
+  const auto it = leme_.find(entry.dest);
+  if (it != leme_.end()) {
+    auto& parts = it->second;
+    const auto pos = std::find_if(parts.begin(), parts.end(),
+                                  [&](const EvolvingPart& p) { return p.id == sub.id(); });
+    if (pos != parts.end()) {
+      parts.erase(pos);
+      --evolving_count_;
+    }
+    if (parts.empty()) leme_.erase(it);
+  }
+}
+
+bool LeesEngine::evolving_part_matches(const EvolvingPart& part, const Publication& pub,
+                                       const Env& scope) {
+  for (const auto& p : part.evolving_preds) {
+    const Value* v = pub.get(p.attribute());
+    if (v == nullptr || !p.matches(*v, scope)) return false;
+  }
+  return true;
+}
+
+void LeesEngine::do_match(const Publication& pub, const VariableSnapshot* snapshot,
+                          EngineHost& host, std::vector<NodeId>& destinations) {
+  // M1: standard matcher over static parts and purely-static subscriptions.
+  std::vector<SubscriptionId> m1;
+  {
+    const ScopedTimer timer(costs_.match);
+    matcher_->match(pub, m1);
+  }
+  std::unordered_set<SubscriptionId> m1_set(m1.begin(), m1.end());
+
+  // Destinations already satisfied by purely-static subscriptions.
+  std::unordered_set<NodeId> done;
+  for (const auto id : m1) {
+    const auto& entry = installed().at(id);
+    if (!entry.sub->is_evolving()) {
+      destinations.push_back(entry.dest);
+      done.insert(entry.dest);
+    }
+  }
+
+  // M2: on-demand evaluation of evolving parts, per destination, with early
+  // exit once the destination is known to need the publication.
+  const ScopedTimer timer(costs_.lazy_eval);
+  const auto& registry = host.variables();
+  for (const auto& [dest, parts] : leme_) {
+    if (done.contains(dest)) continue;
+    for (const auto& part : parts) {
+      if (part.has_static_part && !m1_set.contains(part.id)) continue;
+      ++costs_.lazy_evaluations;
+      const EvalScope scope =
+          make_scope(*part.sub, host.now(), snapshot, registry, pub.entry_time());
+      if (evolving_part_matches(part, pub, scope)) {
+        destinations.push_back(dest);
+        break;  // early exit: this destination is settled
+      }
+    }
+  }
+}
+
+}  // namespace evps

@@ -1,0 +1,56 @@
+// Lazy Evaluation Evolving Subscriptions (LEES) — Sections IV-B and V-B.
+//
+// A subscription is split in two parts sharing its id: the non-evolving
+// predicates go into the standard matcher (producing match set M1), while
+// the evolving predicates enter the Lazy Evolution Matching Engine (LEME),
+// which is evaluated on demand for every incoming publication (producing
+// M2). A publication is forwarded towards subscriptions in M1 ∩ M2;
+// single-part subscriptions (only static or only evolving predicates) are
+// flagged and decided by their one engine alone.
+//
+// The LEME groups evolving parts by *destination* (next hop): once any
+// subscription of a destination is known to match, evaluation for that
+// destination stops, because the publication must be forwarded there
+// regardless of further matches — the early-exit behaviour behind
+// Figure 10(b).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "evolving/engine.hpp"
+
+namespace evps {
+
+class LeesEngine final : public BrokerEngine {
+ public:
+  explicit LeesEngine(const EngineConfig& config) : BrokerEngine(config) {}
+
+  /// Number of subscriptions with at least one evolving predicate.
+  [[nodiscard]] std::size_t leme_size() const noexcept { return evolving_count_; }
+
+ protected:
+  void do_add(const Installed& entry, EngineHost& host) override;
+  void do_remove(const Installed& entry, EngineHost& host) override;
+  void do_match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
+                std::vector<NodeId>& destinations) override;
+
+ private:
+  struct EvolvingPart {
+    SubscriptionId id;
+    SubscriptionPtr sub;  // carries epoch and metadata
+    std::vector<Predicate> evolving_preds;
+    bool has_static_part = false;
+  };
+
+  /// True iff all evolving predicates are satisfied by `pub` under `scope`.
+  static bool evolving_part_matches(const EvolvingPart& part, const Publication& pub,
+                                    const Env& scope);
+
+  // LEME: evolving parts grouped per destination, deterministic order.
+  std::map<NodeId, std::vector<EvolvingPart>> leme_;
+  std::size_t evolving_count_ = 0;
+};
+
+}  // namespace evps

@@ -1,0 +1,5 @@
+#include "evolving/parametric_engine.hpp"
+
+// ParametricEngine is entirely defined in the header; this translation unit
+// exists so the class has a home for future extensions (e.g. the update
+// approximation/thrashing-avoidance heuristics sketched in [12]).

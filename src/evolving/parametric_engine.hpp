@@ -1,0 +1,20 @@
+// Parametric-subscriptions baseline [12].
+//
+// Broker-side it behaves like the static engine, but subscription *update*
+// messages adjust the constant operands of installed subscriptions in place
+// — one network message instead of an unsubscribe/subscribe pair. The update
+// itself is applied by BrokerEngine::update (remove + reinsert into the
+// matcher), whose cost is charged to maintenance, mirroring the routing
+// table adjustment cost described in the paper.
+#pragma once
+
+#include "evolving/static_engine.hpp"
+
+namespace evps {
+
+class ParametricEngine final : public StaticEngine {
+ public:
+  explicit ParametricEngine(const EngineConfig& config) : StaticEngine(config) {}
+};
+
+}  // namespace evps

@@ -1,0 +1,27 @@
+#include "evolving/static_engine.hpp"
+
+namespace evps {
+
+void StaticEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
+  if (entry.sub->is_evolving()) {
+    throw std::invalid_argument("static engine cannot install evolving subscription " +
+                                entry.sub->id().str());
+  }
+  matcher_->add(entry.sub->id(), entry.sub->predicates());
+}
+
+void StaticEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
+  matcher_->remove(entry.sub->id());
+}
+
+void StaticEngine::do_match(const Publication& pub, const VariableSnapshot* /*snapshot*/,
+                            EngineHost& /*host*/, std::vector<NodeId>& destinations) {
+  std::vector<SubscriptionId> ids;
+  {
+    const ScopedTimer timer(costs_.match);
+    matcher_->match(pub, ids);
+  }
+  for (const auto id : ids) destinations.push_back(destination_of(id));
+}
+
+}  // namespace evps

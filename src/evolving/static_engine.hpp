@@ -1,0 +1,22 @@
+// Plain content-based engine: the resubscription baseline.
+//
+// Evolving subscriptions are rejected; clients must unsubscribe and
+// resubscribe to change interests (Section I).
+#pragma once
+
+#include "evolving/engine.hpp"
+
+namespace evps {
+
+class StaticEngine : public BrokerEngine {
+ public:
+  explicit StaticEngine(const EngineConfig& config) : BrokerEngine(config) {}
+
+ protected:
+  void do_add(const Installed& entry, EngineHost& host) override;
+  void do_remove(const Installed& entry, EngineHost& host) override;
+  void do_match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
+                std::vector<NodeId>& destinations) override;
+};
+
+}  // namespace evps

@@ -1,0 +1,186 @@
+#include "evolving/ves_engine.hpp"
+
+#include <algorithm>
+
+namespace evps {
+
+VesEngine::~VesEngine() {
+  if (listened_registry_ != nullptr) listened_registry_->remove_listener(listener_id_);
+}
+
+void VesEngine::do_add(const Installed& entry, EngineHost& host) {
+  const auto& sub = *entry.sub;
+  if (!sub.is_evolving()) {
+    matcher_->add(sub.id(), sub.predicates());
+    return;
+  }
+  ensure_listener(host);
+
+  EvolvingState state;
+  state.sub = entry.sub;
+  state.vars = sub.variables();
+  state.depends_on_time = state.vars.contains(std::string(kElapsedTimeVar));
+  state.vars.erase(std::string(kElapsedTimeVar));
+  state.overestimate = config_.overestimate_forwarding && entry.dest_is_broker;
+
+  const SimTime now = host.now();
+  auto& registry = host.variables();
+  {
+    // Initial version (Figure 3): evaluate the predicate functions with the
+    // current evolution-variable values and insert into the matcher.
+    const ScopedTimer timer(costs_.maintenance);
+    matcher_->add(sub.id(), materialize_version(state, registry, now));
+  }
+  for (const auto& var : state.vars) state.seen_versions[var] = registry.version(var);
+  evolving_.emplace(sub.id(), std::move(state));
+
+  esq_.push(sub.id(), now + effective_mei(sub));
+  arm_timer(host);
+}
+
+void VesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
+  const SubscriptionId id = entry.sub->id();
+  matcher_->remove(id);
+  esq_.remove(id);
+  ready_.erase(id);
+  evolving_.erase(id);
+}
+
+void VesEngine::do_match(const Publication& pub, const VariableSnapshot* /*snapshot*/,
+                         EngineHost& /*host*/, std::vector<NodeId>& destinations) {
+  // VES matches against the currently stored versions only; piggybacked
+  // snapshots cannot retroactively change the versions (Section V-D notes
+  // snapshots "render VES ineffective"), so they are ignored here.
+  std::vector<SubscriptionId> ids;
+  {
+    const ScopedTimer timer(costs_.match);
+    matcher_->match(pub, ids);
+  }
+  for (const auto id : ids) destinations.push_back(destination_of(id));
+}
+
+void VesEngine::ensure_listener(EngineHost& host) {
+  auto& registry = host.variables();
+  if (listened_registry_ == &registry) return;
+  if (listened_registry_ != nullptr) listened_registry_->remove_listener(listener_id_);
+  listened_registry_ = &registry;
+  listener_id_ = registry.add_listener(
+      [this, &host](const std::string& name, double /*value*/, SimTime /*when*/) {
+        on_variable_changed(name, host);
+      });
+}
+
+void VesEngine::arm_timer(EngineHost& host) {
+  const auto next = esq_.next_due();
+  if (!next.has_value()) return;
+  if (timer_armed_ && armed_until_ <= *next) return;
+  timer_armed_ = true;
+  armed_until_ = *next;
+  const Duration delay = *next - host.now();
+  host.schedule(delay < Duration::zero() ? Duration::zero() : delay,
+                [this, &host]() { on_timer(host); });
+}
+
+void VesEngine::on_timer(EngineHost& host) {
+  timer_armed_ = false;
+  armed_until_ = SimTime::max();
+  std::vector<SubscriptionId> due;
+  esq_.pop_due(host.now(), due);
+  for (const auto id : due) {
+    const auto it = evolving_.find(id);
+    if (it == evolving_.end()) continue;  // concurrently unsubscribed
+    if (needs_evolution(it->second, host.variables())) {
+      evolve(id, it->second, host);
+    } else {
+      // Park until one of its variables changes (paper's ready list).
+      ready_.insert(id);
+    }
+  }
+  arm_timer(host);
+}
+
+void VesEngine::on_variable_changed(const std::string& name, EngineHost& host) {
+  if (ready_.empty()) return;
+  std::vector<SubscriptionId> to_evolve;
+  for (const auto id : ready_) {
+    const auto it = evolving_.find(id);
+    if (it != evolving_.end() && it->second.vars.contains(name)) to_evolve.push_back(id);
+  }
+  for (const auto id : to_evolve) {
+    ready_.erase(id);
+    evolve(id, evolving_.at(id), host);
+  }
+  arm_timer(host);
+}
+
+bool VesEngine::needs_evolution(const EvolvingState& state,
+                                const VariableRegistry& registry) const {
+  if (state.depends_on_time) return true;  // continuous variables always change
+  for (const auto& [var, seen] : state.seen_versions) {
+    if (registry.version(var) != seen) return true;
+  }
+  // A variable that appeared after materialisation also counts as changed.
+  for (const auto& var : state.vars) {
+    if (!state.seen_versions.contains(var) && registry.has(var)) return true;
+  }
+  return false;
+}
+
+std::vector<Predicate> VesEngine::materialize_version(const EvolvingState& state,
+                                                      const VariableRegistry& registry,
+                                                      SimTime now) const {
+  const auto& sub = *state.sub;
+  if (!state.overestimate) return sub.materialize(sub.scope(&registry, now)).predicates();
+
+  // Sample each predicate function across the upcoming MEI window and take
+  // the loosest bound. Three samples cover linear and mildly curved
+  // functions; discrete variables are piecewise-constant so their current
+  // value holds across the window.
+  const Duration mei = effective_mei(sub);
+  const EvalScope scopes[3] = {sub.scope(&registry, now), sub.scope(&registry, now + mei / 2),
+                               sub.scope(&registry, now + mei)};
+  std::vector<Predicate> out;
+  out.reserve(sub.predicates().size());
+  for (const auto& p : sub.predicates()) {
+    if (!p.is_evolving()) {
+      out.push_back(p);
+      continue;
+    }
+    double samples[3];
+    for (int i = 0; i < 3; ++i) samples[i] = p.fun()->eval(scopes[i]);
+    double bound = samples[0];
+    switch (p.op()) {
+      case RelOp::kLe:
+      case RelOp::kLt:
+        bound = std::max({samples[0], samples[1], samples[2]});
+        break;
+      case RelOp::kGe:
+      case RelOp::kGt:
+        bound = std::min({samples[0], samples[1], samples[2]});
+        break;
+      case RelOp::kEq:
+      case RelOp::kNe:
+        break;  // equality cannot be widened conservatively; keep exact
+    }
+    out.push_back(Predicate{p.attribute(), p.op(), Value{bound}});
+  }
+  return out;
+}
+
+void VesEngine::evolve(SubscriptionId id, EvolvingState& state, EngineHost& host) {
+  auto& registry = host.variables();
+  const SimTime now = host.now();
+  {
+    // Replace the stored version: the remove + insert against the matcher is
+    // the dominant VES maintenance cost (Figure 9 discussion).
+    const ScopedTimer timer(costs_.maintenance);
+    const std::vector<Predicate> version = materialize_version(state, registry, now);
+    matcher_->remove(id);
+    matcher_->add(id, version);
+  }
+  ++costs_.evolutions;
+  for (const auto& var : state.vars) state.seen_versions[var] = registry.version(var);
+  esq_.push(id, now + effective_mei(*state.sub));
+}
+
+}  // namespace evps

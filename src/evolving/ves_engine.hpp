@@ -1,0 +1,89 @@
+// Versioned Evolving Subscriptions (VES) — Sections IV-A and V-A.
+//
+// Each evolving subscription is materialised into a non-evolving *version*
+// kept in the standard matcher. Versions are refreshed autonomously:
+//
+//   * The ESQ orders subscriptions by their next scheduled evolution time
+//     (install time + MEI).
+//   * When a subscription becomes due, it evolves immediately if a variable
+//     it depends on has changed since its current version was built — the
+//     continuous variable `t` counts as always-changing. Otherwise it parks
+//     in the ready list until one of its variables changes (the paper's
+//     "list of subscriptions that are ready to evolve").
+//   * Evolving = remove old version from the matcher, insert the freshly
+//     evaluated one, reschedule at now + MEI. The cost of these matcher
+//     operations is the VES maintenance overhead measured in Figures 8/9.
+//
+// Matching publications uses only the standard matcher (fast), which is why
+// VES "has the advantage of not being affected by publications".
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evolving/engine.hpp"
+#include "evolving/esq.hpp"
+
+namespace evps {
+
+class VesEngine final : public BrokerEngine {
+ public:
+  explicit VesEngine(const EngineConfig& config) : BrokerEngine(config) {}
+  ~VesEngine() override;
+
+  /// Subscriptions currently parked awaiting a variable change.
+  [[nodiscard]] std::size_t ready_count() const noexcept { return ready_.size(); }
+  /// Live entries in the evolving subscription queue.
+  [[nodiscard]] std::size_t queued_count() const noexcept { return esq_.size(); }
+
+ protected:
+  void do_add(const Installed& entry, EngineHost& host) override;
+  void do_remove(const Installed& entry, EngineHost& host) override;
+  void do_match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
+                std::vector<NodeId>& destinations) override;
+
+ private:
+  struct EvolvingState {
+    SubscriptionPtr sub;
+    std::set<std::string> vars;        // evolution variables referenced
+    bool depends_on_time = false;      // references the continuous `t`
+    /// Widen versions over the MEI window (forwarding-hop subscriptions
+    /// under the overestimation extension, Section IV-A).
+    bool overestimate = false;
+    // Registry versions captured when the current version was materialised.
+    std::map<std::string, std::uint64_t> seen_versions;
+  };
+
+  void ensure_listener(EngineHost& host);
+  void arm_timer(EngineHost& host);
+  void on_timer(EngineHost& host);
+  void on_variable_changed(const std::string& name, EngineHost& host);
+
+  /// True iff any depended-on variable changed since materialisation.
+  [[nodiscard]] bool needs_evolution(const EvolvingState& state,
+                                     const VariableRegistry& registry) const;
+
+  /// Replace the matcher version with a fresh evaluation and reschedule.
+  void evolve(SubscriptionId id, EvolvingState& state, EngineHost& host);
+
+  /// Non-evolving version of the subscription at `now`; if the state asks
+  /// for overestimation, range predicates are widened to the extreme the
+  /// function reaches anywhere in [now, now + MEI].
+  [[nodiscard]] std::vector<Predicate> materialize_version(const EvolvingState& state,
+                                                           const VariableRegistry& registry,
+                                                           SimTime now) const;
+
+  EvolvingSubscriptionQueue esq_;
+  std::unordered_map<SubscriptionId, EvolvingState> evolving_;
+  /// Due subscriptions awaiting a change of one of their variables.
+  std::set<SubscriptionId> ready_;
+  VariableRegistry* listened_registry_ = nullptr;
+  VariableRegistry::ListenerId listener_id_ = 0;
+  SimTime armed_until_ = SimTime::max();
+  bool timer_armed_ = false;
+};
+
+}  // namespace evps

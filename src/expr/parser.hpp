@@ -1,0 +1,45 @@
+// Recursive-descent parser for the evolution expression language.
+//
+// Grammar (standard precedence; ^ is right-associative):
+//   expr    := term (('+' | '-') term)*
+//   term    := factor (('*' | '/' | '%') factor)*
+//   factor  := '-' factor | power
+//   power   := primary ('^' factor)?
+//   primary := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Builtin functions: abs, floor, ceil, sqrt, sin, cos, sign (unary);
+// min, max (n-ary), clamp(x, lo, hi), step(x).
+// Any other identifier is an evolution variable reference.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "expr/ast.hpp"
+
+namespace evps {
+
+/// Parse failure description with the byte offset of the offending token.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t offset)
+      : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parse `text` into an expression tree. Throws ParseError on malformed
+/// input. Constant subtrees are folded (e.g. "2*3 + t" stores 6 + t).
+[[nodiscard]] ExprPtr parse_expr(std::string_view text);
+
+/// Non-throwing variant; returns nullopt and fills `error` (if non-null)
+/// on malformed input.
+[[nodiscard]] std::optional<ExprPtr> try_parse_expr(std::string_view text,
+                                                    std::string* error = nullptr);
+
+}  // namespace evps

@@ -1,0 +1,91 @@
+#include "expr/variable_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evps {
+
+void VariableRegistry::set(std::string_view name, double value, SimTime when) {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    it = vars_.emplace(std::string(name), History{}).first;
+  }
+  auto& changes = it->second.changes;
+  if (!changes.empty() && when < changes.back().first) {
+    throw std::invalid_argument("variable '" + std::string(name) +
+                                "' history must be appended in time order");
+  }
+  if (!changes.empty() && when == changes.back().first) {
+    changes.back().second = value;  // same-instant overwrite
+  } else {
+    changes.emplace_back(when, value);
+  }
+  ++global_version_;
+  for (auto& [id, listener] : listeners_) {
+    listener(it->first, value, when);
+  }
+}
+
+bool VariableRegistry::has(std::string_view name) const noexcept {
+  return vars_.find(name) != vars_.end();
+}
+
+std::optional<double> VariableRegistry::get(std::string_view name) const noexcept {
+  const auto it = vars_.find(name);
+  if (it == vars_.end() || it->second.changes.empty()) return std::nullopt;
+  return it->second.changes.back().second;
+}
+
+std::optional<double> VariableRegistry::get_at(std::string_view name, SimTime when) const noexcept {
+  const auto it = vars_.find(name);
+  if (it == vars_.end() || it->second.changes.empty()) return std::nullopt;
+  const auto& changes = it->second.changes;
+  // Last change with time <= when.
+  auto pos = std::upper_bound(changes.begin(), changes.end(), when,
+                              [](SimTime t, const auto& entry) { return t < entry.first; });
+  if (pos == changes.begin()) return std::nullopt;  // variable did not exist yet
+  return std::prev(pos)->second;
+}
+
+std::uint64_t VariableRegistry::version(std::string_view name) const noexcept {
+  const auto it = vars_.find(name);
+  return it == vars_.end() ? 0 : it->second.changes.size();
+}
+
+std::optional<SimTime> VariableRegistry::last_change(std::string_view name) const noexcept {
+  const auto it = vars_.find(name);
+  if (it == vars_.end() || it->second.changes.empty()) return std::nullopt;
+  return it->second.changes.back().first;
+}
+
+std::vector<std::string> VariableRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(vars_.size());
+  for (const auto& [name, history] : vars_) out.push_back(name);
+  return out;
+}
+
+VariableRegistry::ListenerId VariableRegistry::add_listener(Listener listener) {
+  const ListenerId id = next_listener_++;
+  listeners_.emplace(id, std::move(listener));
+  return id;
+}
+
+void VariableRegistry::remove_listener(ListenerId id) { listeners_.erase(id); }
+
+double EvalScope::lookup(std::string_view name) const {
+  if (const auto it = overrides_.find(name); it != overrides_.end()) return it->second;
+  if (name == kElapsedTimeVar) return (now_ - epoch_).count_seconds();
+  if (registry_ != nullptr) {
+    if (const auto v = registry_->get_at(name, now_)) return *v;
+  }
+  throw UnboundVariableError(name);
+}
+
+bool EvalScope::has(std::string_view name) const {
+  if (overrides_.contains(name)) return true;
+  if (name == kElapsedTimeVar) return true;
+  return registry_ != nullptr && registry_->get_at(name, now_).has_value();
+}
+
+}  // namespace evps

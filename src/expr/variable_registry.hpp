@@ -1,0 +1,109 @@
+// Broker-local store of evolution variables (Section III-B / V).
+//
+// Each broker keeps the current value of every discrete evolution variable it
+// knows about (e.g. in-game visibility `v`, a stock price, outgoing
+// bandwidth). Values are piecewise-constant over virtual time and the full
+// change history is retained, which lets the ground-truth oracle re-evaluate
+// any subscription at the exact instant a publication entered the system
+// (Section V-D consistency model).
+//
+// The continuous variable `t` (elapsed time since a subscription was
+// installed, "initialized to 0 at the time of subscription") is not stored
+// here: it is derived from the evaluation scope's clock and the
+// subscription's epoch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "expr/ast.hpp"
+
+namespace evps {
+
+/// Name of the reserved continuous evolution variable: elapsed seconds since
+/// the owning subscription was installed.
+inline constexpr std::string_view kElapsedTimeVar = "t";
+
+class VariableRegistry {
+ public:
+  using ListenerId = std::uint64_t;
+  /// Invoked synchronously after a variable changes value.
+  using Listener = std::function<void(const std::string& name, double value, SimTime when)>;
+
+  VariableRegistry() = default;
+
+  /// Set `name` to `value` effective at `when`. `when` must be >= the time of
+  /// the variable's previous change (piecewise-constant history, appended in
+  /// time order); violations throw std::invalid_argument.
+  void set(std::string_view name, double value, SimTime when);
+
+  [[nodiscard]] bool has(std::string_view name) const noexcept;
+
+  /// Latest value, or nullopt if never set.
+  [[nodiscard]] std::optional<double> get(std::string_view name) const noexcept;
+
+  /// Value in effect at time `when` (the last change at or before `when`),
+  /// or nullopt if the variable did not exist yet.
+  [[nodiscard]] std::optional<double> get_at(std::string_view name, SimTime when) const noexcept;
+
+  /// Number of changes applied to `name` (0 if unknown). Monotonic.
+  [[nodiscard]] std::uint64_t version(std::string_view name) const noexcept;
+
+  /// Total number of changes applied across all variables. Monotonic.
+  [[nodiscard]] std::uint64_t global_version() const noexcept { return global_version_; }
+
+  /// Time of the last change to `name` (nullopt if unknown).
+  [[nodiscard]] std::optional<SimTime> last_change(std::string_view name) const noexcept;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  ListenerId add_listener(Listener listener);
+  void remove_listener(ListenerId id);
+
+ private:
+  struct History {
+    // (change time, value), strictly ordered by time. Later entries override.
+    std::vector<std::pair<SimTime, double>> changes;
+  };
+  std::map<std::string, History, std::less<>> vars_;
+  std::uint64_t global_version_ = 0;
+  std::uint64_t next_listener_ = 1;
+  std::map<ListenerId, Listener> listeners_;
+};
+
+/// Env implementation combining a VariableRegistry snapshot-in-time with the
+/// per-subscription elapsed-time variable and optional local overrides.
+class EvalScope final : public Env {
+ public:
+  /// `registry` may be null (then only `t` and overrides resolve).
+  /// `now` is the evaluation instant; `epoch` is the subscription install
+  /// time, so `t = (now - epoch)` in seconds.
+  EvalScope(const VariableRegistry* registry, SimTime now, SimTime epoch) noexcept
+      : registry_(registry), now_(now), epoch_(epoch) {}
+
+  /// Bind (or shadow) a variable locally, e.g. piggybacked snapshot values.
+  EvalScope& bind(std::string name, double value) {
+    overrides_.insert_or_assign(std::move(name), value);
+    return *this;
+  }
+
+  [[nodiscard]] double lookup(std::string_view name) const override;
+  [[nodiscard]] bool has(std::string_view name) const override;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimTime epoch() const noexcept { return epoch_; }
+
+ private:
+  const VariableRegistry* registry_;
+  SimTime now_;
+  SimTime epoch_;
+  std::map<std::string, double, std::less<>> overrides_;
+};
+
+}  // namespace evps

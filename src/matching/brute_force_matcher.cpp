@@ -1,0 +1,28 @@
+#include "matching/brute_force_matcher.hpp"
+
+namespace evps {
+
+void BruteForceMatcher::add(SubscriptionId id, const std::vector<Predicate>& preds) {
+  require_static(preds);
+  const auto [it, inserted] = subs_.emplace(id, preds);
+  if (!inserted) throw std::invalid_argument("duplicate subscription id " + id.str());
+}
+
+bool BruteForceMatcher::remove(SubscriptionId id) { return subs_.erase(id) > 0; }
+
+void BruteForceMatcher::match(const Publication& pub, std::vector<SubscriptionId>& out) const {
+  for (const auto& [id, preds] : subs_) {
+    if (preds.empty()) continue;
+    bool ok = true;
+    for (const auto& p : preds) {
+      const Value* v = pub.get(p.attribute());
+      if (v == nullptr || !p.matches(*v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(id);
+  }
+}
+
+}  // namespace evps

@@ -1,0 +1,27 @@
+// Reference matcher: linear scan over all stored subscriptions.
+//
+// Used as the correctness oracle in property tests and as the baseline in
+// the matcher micro-benchmarks.
+#pragma once
+
+#include <map>
+
+#include "matching/matcher.hpp"
+
+namespace evps {
+
+class BruteForceMatcher final : public Matcher {
+ public:
+  using Matcher::match;
+
+  void add(SubscriptionId id, const std::vector<Predicate>& preds) override;
+  bool remove(SubscriptionId id) override;
+  void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
+  [[nodiscard]] bool contains(SubscriptionId id) const override { return subs_.contains(id); }
+  [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+
+ private:
+  std::map<SubscriptionId, std::vector<Predicate>> subs_;
+};
+
+}  // namespace evps

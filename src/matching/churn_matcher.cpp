@@ -1,0 +1,130 @@
+#include "matching/churn_matcher.hpp"
+
+#include <algorithm>
+
+namespace evps {
+
+void ChurnMatcher::add(SubscriptionId id, const std::vector<Predicate>& preds) {
+  require_static(preds);
+  const auto [it, inserted] = subs_.emplace(id, SubState{preds, {}});
+  if (!inserted) throw std::invalid_argument("duplicate subscription id " + id.str());
+  auto& state = it->second;
+  state.locations.resize(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    index_predicate(id, static_cast<RefSlot>(i), preds[i], state);
+  }
+  predicate_count_ += preds.size();
+}
+
+void ChurnMatcher::index_predicate(SubscriptionId id, RefSlot slot, const Predicate& p,
+                                   SubState& state) {
+  auto& bucket = buckets_[p.attribute()];
+  Location& loc = state.locations[slot];
+  loc.attr = p.attribute();
+  const Value& c = p.constant();
+  if (p.op() == RelOp::kEq && !c.is_string()) {
+    loc.kind = Location::Kind::kEqNum;
+    loc.num_key = *c.numeric();
+    auto& list = bucket.eq_num[loc.num_key];
+    loc.index = list.size();
+    list.push_back(EqEntry{id, slot});
+  } else if (p.op() == RelOp::kEq) {
+    loc.kind = Location::Kind::kEqStr;
+    loc.str_key = c.as_string();
+    auto& list = bucket.eq_str[loc.str_key];
+    loc.index = list.size();
+    list.push_back(EqEntry{id, slot});
+  } else {
+    loc.kind = Location::Kind::kScan;
+    loc.index = bucket.scan.size();
+    bucket.scan.push_back(ScanEntry{p.op(), c, id, slot});
+  }
+}
+
+bool ChurnMatcher::remove(SubscriptionId id) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  // Detach the state first: unindexing patches *other* subscriptions'
+  // location tables, never this one's (its entries are all being removed).
+  const SubState state = std::move(it->second);
+  subs_.erase(it);
+  for (const auto& loc : state.locations) unindex(loc);
+  predicate_count_ -= state.preds.size();
+  return true;
+}
+
+void ChurnMatcher::unindex(const Location& loc) {
+  const auto bucket_it = buckets_.find(loc.attr);
+  if (bucket_it == buckets_.end()) return;
+  auto& bucket = bucket_it->second;
+
+  // Swap-erase `list[loc.index]`, patching the displaced entry's location.
+  const auto swap_erase = [&](auto& list, auto kind) {
+    if (loc.index >= list.size()) return;
+    if (loc.index + 1 != list.size()) {
+      list[loc.index] = std::move(list.back());
+      const auto& moved = list[loc.index];
+      const auto owner = subs_.find(moved.sub);
+      if (owner != subs_.end()) {
+        Location& moved_loc = owner->second.locations[moved.ref];
+        (void)kind;
+        moved_loc.index = loc.index;
+      }
+    }
+    list.pop_back();
+  };
+
+  switch (loc.kind) {
+    case Location::Kind::kEqNum: {
+      const auto list_it = bucket.eq_num.find(loc.num_key);
+      if (list_it == bucket.eq_num.end()) return;
+      swap_erase(list_it->second, loc.kind);
+      if (list_it->second.empty()) bucket.eq_num.erase(list_it);
+      break;
+    }
+    case Location::Kind::kEqStr: {
+      const auto list_it = bucket.eq_str.find(loc.str_key);
+      if (list_it == bucket.eq_str.end()) return;
+      swap_erase(list_it->second, loc.kind);
+      if (list_it->second.empty()) bucket.eq_str.erase(list_it);
+      break;
+    }
+    case Location::Kind::kScan:
+      swap_erase(bucket.scan, loc.kind);
+      break;
+  }
+  if (bucket.empty()) buckets_.erase(bucket_it);
+}
+
+void ChurnMatcher::match(const Publication& pub, std::vector<SubscriptionId>& out) const {
+  if (subs_.empty() || pub.empty()) return;
+  std::unordered_map<SubscriptionId, std::uint32_t> counts;
+  counts.reserve(64);
+  const auto hit = [&](SubscriptionId id) { ++counts[id]; };
+
+  for (const auto& [attr, value] : pub.attributes()) {
+    const auto it = buckets_.find(attr);
+    if (it == buckets_.end()) continue;
+    const auto& bucket = it->second;
+    if (const auto num = value.numeric()) {
+      if (const auto eq = bucket.eq_num.find(*num); eq != bucket.eq_num.end()) {
+        for (const auto& entry : eq->second) hit(entry.sub);
+      }
+    } else if (const auto eq = bucket.eq_str.find(value.as_string());
+               eq != bucket.eq_str.end()) {
+      for (const auto& entry : eq->second) hit(entry.sub);
+    }
+    for (const auto& entry : bucket.scan) {
+      if (apply_rel_op(entry.op, value, entry.operand)) hit(entry.sub);
+    }
+  }
+
+  const std::size_t first_new = out.size();
+  for (const auto& [id, count] : counts) {
+    const auto sub_it = subs_.find(id);
+    if (sub_it != subs_.end() && count == sub_it->second.preds.size()) out.push_back(id);
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first_new), out.end());
+}
+
+}  // namespace evps

@@ -1,0 +1,95 @@
+// Churn-optimised matcher.
+//
+// The paper positions evolving subscriptions "within the context of
+// applications with high subscription churn; therefore, it is best paired
+// with a matching engine optimized for a high rate of subscriptions and
+// unsubscriptions" (Section II, citing [10]). VES in particular pays one
+// matcher remove+insert per evolution, so insert/remove cost dominates its
+// maintenance overhead.
+//
+// Design: per attribute, *unordered* predicate buckets (equality hashed,
+// everything else in a flat scan list). Every indexed entry carries a
+// back-reference into its subscription's location table, so removal is a
+// swap-erase plus one index patch-up for the displaced entry — O(1) per
+// predicate regardless of the resident population. Matching scans the
+// buckets of the publication's attributes and counts satisfied predicates
+// per subscription — linear in the per-attribute predicate population, like
+// LEES's scan, but with no sorted-structure maintenance at all.
+//
+// Compare with CountingMatcher: sorted bound lists give cheaper matching
+// but O(n) insert/remove. The micro benchmarks (micro_matcher) and the VES
+// ablation (ablation_matcher) quantify the trade.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/matcher.hpp"
+
+namespace evps {
+
+class ChurnMatcher final : public Matcher {
+ public:
+  using Matcher::match;
+
+  void add(SubscriptionId id, const std::vector<Predicate>& preds) override;
+  bool remove(SubscriptionId id) override;
+  void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
+  [[nodiscard]] bool contains(SubscriptionId id) const override { return subs_.contains(id); }
+  [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+
+  [[nodiscard]] std::size_t predicate_count() const noexcept { return predicate_count_; }
+
+ private:
+  /// Index of the predicate within its subscription: identifies the
+  /// location-table slot an indexed entry must patch on swap-erase.
+  using RefSlot = std::uint32_t;
+
+  struct EqEntry {
+    SubscriptionId sub;
+    RefSlot ref;
+  };
+  struct ScanEntry {
+    RelOp op;
+    Value operand;
+    SubscriptionId sub;
+    RefSlot ref;
+  };
+
+  struct AttributeBucket {
+    std::unordered_map<double, std::vector<EqEntry>> eq_num;
+    std::unordered_map<std::string, std::vector<EqEntry>> eq_str;
+    std::vector<ScanEntry> scan;
+
+    [[nodiscard]] bool empty() const noexcept {
+      return eq_num.empty() && eq_str.empty() && scan.empty();
+    }
+  };
+
+  /// Where one predicate of one subscription currently lives.
+  struct Location {
+    enum class Kind : std::uint8_t { kEqNum, kEqStr, kScan };
+    std::string attr;
+    Kind kind = Kind::kScan;
+    double num_key = 0;
+    std::string str_key;
+    std::size_t index = 0;  // position in the eq list / scan list
+  };
+
+  struct SubState {
+    std::vector<Predicate> preds;
+    std::vector<Location> locations;  // one per predicate
+  };
+
+  void index_predicate(SubscriptionId id, RefSlot slot, const Predicate& p, SubState& state);
+  void unindex(const Location& loc);
+
+  std::map<std::string, AttributeBucket, std::less<>> buckets_;
+  std::unordered_map<SubscriptionId, SubState> subs_;
+  std::size_t predicate_count_ = 0;
+};
+
+}  // namespace evps

@@ -1,0 +1,178 @@
+#include "matching/counting_matcher.hpp"
+
+#include <algorithm>
+
+#include "matching/brute_force_matcher.hpp"
+#include "matching/churn_matcher.hpp"
+
+namespace evps {
+
+void CountingMatcher::add(SubscriptionId id, const std::vector<Predicate>& preds) {
+  require_static(preds);
+  const auto [it, inserted] = subs_.emplace(id, preds);
+  if (!inserted) throw std::invalid_argument("duplicate subscription id " + id.str());
+  for (const auto& p : preds) index_predicate(id, p);
+  predicate_count_ += preds.size();
+}
+
+bool CountingMatcher::remove(SubscriptionId id) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  for (const auto& p : it->second) unindex_predicate(id, p);
+  predicate_count_ -= it->second.size();
+  subs_.erase(it);
+  return true;
+}
+
+void CountingMatcher::index_predicate(SubscriptionId id, const Predicate& p) {
+  auto& idx = index_[p.attribute()];
+  const Value& c = p.constant();
+  if (p.op() == RelOp::kEq) {
+    if (c.is_string()) {
+      idx.eq_str[c.as_string()].push_back(id);
+    } else {
+      idx.eq_num[*c.numeric()].push_back(id);
+    }
+    return;
+  }
+  if (p.op() == RelOp::kNe) {
+    idx.ne.emplace_back(c, id);
+    return;
+  }
+  if (c.is_string()) {
+    idx.misc.emplace_back(p, id);
+    return;
+  }
+  const double bound = *c.numeric();
+  auto insert_sorted = [&](std::vector<BoundEntry>& list) {
+    const BoundEntry entry{bound, id};
+    list.insert(std::upper_bound(list.begin(), list.end(), entry), entry);
+  };
+  switch (p.op()) {
+    case RelOp::kLt: insert_sorted(idx.lt); break;
+    case RelOp::kLe: insert_sorted(idx.le); break;
+    case RelOp::kGt: insert_sorted(idx.gt); break;
+    case RelOp::kGe: insert_sorted(idx.ge); break;
+    default: break;  // kEq/kNe handled above
+  }
+}
+
+void CountingMatcher::unindex_predicate(SubscriptionId id, const Predicate& p) {
+  const auto idx_it = index_.find(p.attribute());
+  if (idx_it == index_.end()) return;
+  auto& idx = idx_it->second;
+  const Value& c = p.constant();
+
+  auto erase_from_list = [&](auto& map, const auto& key) {
+    const auto it = map.find(key);
+    if (it == map.end()) return;
+    auto& v = it->second;
+    const auto pos = std::find(v.begin(), v.end(), id);
+    if (pos != v.end()) v.erase(pos);
+    if (v.empty()) map.erase(it);
+  };
+
+  if (p.op() == RelOp::kEq) {
+    if (c.is_string()) {
+      erase_from_list(idx.eq_str, c.as_string());
+    } else {
+      erase_from_list(idx.eq_num, *c.numeric());
+    }
+  } else if (p.op() == RelOp::kNe) {
+    const auto pos = std::find_if(idx.ne.begin(), idx.ne.end(),
+                                  [&](const auto& e) { return e.second == id && e.first == c; });
+    if (pos != idx.ne.end()) idx.ne.erase(pos);
+  } else if (c.is_string()) {
+    const auto pos = std::find_if(idx.misc.begin(), idx.misc.end(),
+                                  [&](const auto& e) { return e.second == id && e.first == p; });
+    if (pos != idx.misc.end()) idx.misc.erase(pos);
+  } else {
+    const double bound = *c.numeric();
+    auto erase_sorted = [&](std::vector<BoundEntry>& list) {
+      const BoundEntry entry{bound, id};
+      const auto range = std::equal_range(list.begin(), list.end(), entry);
+      if (range.first != range.second) list.erase(range.first);
+    };
+    switch (p.op()) {
+      case RelOp::kLt: erase_sorted(idx.lt); break;
+      case RelOp::kLe: erase_sorted(idx.le); break;
+      case RelOp::kGt: erase_sorted(idx.gt); break;
+      case RelOp::kGe: erase_sorted(idx.ge); break;
+      default: break;
+    }
+  }
+  if (idx.empty()) index_.erase(idx_it);
+}
+
+void CountingMatcher::match(const Publication& pub, std::vector<SubscriptionId>& out) const {
+  if (subs_.empty() || pub.empty()) return;
+  std::unordered_map<SubscriptionId, std::uint32_t> counts;
+  counts.reserve(64);
+
+  const auto hit = [&](SubscriptionId id) { ++counts[id]; };
+
+  for (const auto& [attr, value] : pub.attributes()) {
+    const auto idx_it = index_.find(attr);
+    if (idx_it == index_.end()) continue;
+    const auto& idx = idx_it->second;
+
+    if (const auto num = value.numeric()) {
+      const double v = *num;
+      // pub < bound: all bounds strictly greater than v.
+      {
+        auto pos = std::upper_bound(idx.lt.begin(), idx.lt.end(), v,
+                                    [](double x, const BoundEntry& e) { return x < e.bound; });
+        for (; pos != idx.lt.end(); ++pos) hit(pos->sub);
+      }
+      // pub <= bound: all bounds >= v.
+      {
+        auto pos = std::lower_bound(idx.le.begin(), idx.le.end(), v,
+                                    [](const BoundEntry& e, double x) { return e.bound < x; });
+        for (; pos != idx.le.end(); ++pos) hit(pos->sub);
+      }
+      // pub > bound: all bounds strictly less than v.
+      {
+        const auto end = std::lower_bound(idx.gt.begin(), idx.gt.end(), v,
+                                          [](const BoundEntry& e, double x) { return e.bound < x; });
+        for (auto pos = idx.gt.begin(); pos != end; ++pos) hit(pos->sub);
+      }
+      // pub >= bound: all bounds <= v.
+      {
+        const auto end = std::upper_bound(idx.ge.begin(), idx.ge.end(), v,
+                                          [](double x, const BoundEntry& e) { return x < e.bound; });
+        for (auto pos = idx.ge.begin(); pos != end; ++pos) hit(pos->sub);
+      }
+      if (const auto eq = idx.eq_num.find(v); eq != idx.eq_num.end()) {
+        for (const auto id : eq->second) hit(id);
+      }
+    } else {
+      if (const auto eq = idx.eq_str.find(value.as_string()); eq != idx.eq_str.end()) {
+        for (const auto id : eq->second) hit(id);
+      }
+    }
+    for (const auto& [operand, id] : idx.ne) {
+      if (apply_rel_op(RelOp::kNe, value, operand)) hit(id);
+    }
+    for (const auto& [pred, id] : idx.misc) {
+      if (pred.matches(value)) hit(id);
+    }
+  }
+
+  const std::size_t first_new = out.size();
+  for (const auto& [id, count] : counts) {
+    const auto sub_it = subs_.find(id);
+    if (sub_it != subs_.end() && count == sub_it->second.size()) out.push_back(id);
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first_new), out.end());
+}
+
+MatcherPtr make_matcher(MatcherKind kind) {
+  switch (kind) {
+    case MatcherKind::kBruteForce: return std::make_unique<BruteForceMatcher>();
+    case MatcherKind::kCounting: return std::make_unique<CountingMatcher>();
+    case MatcherKind::kChurn: return std::make_unique<ChurnMatcher>();
+  }
+  throw std::invalid_argument("unknown matcher kind");
+}
+
+}  // namespace evps

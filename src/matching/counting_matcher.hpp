@@ -1,0 +1,76 @@
+// Counting-algorithm matcher with per-attribute operator indexes.
+//
+// The classic content-based matching scheme (Fabret et al. / PADRES): each
+// predicate is indexed under its attribute; matching a publication walks, for
+// each publication attribute, the set of satisfied predicates and counts hits
+// per subscription. A subscription matches when its hit count equals its
+// predicate count.
+//
+// Index structure per attribute:
+//   * four sorted bound lists for < <= > >= (binary search + contiguous walk)
+//   * hash maps for numeric and string equality
+//   * scan lists for != and for ordered string comparisons
+//
+// Insertion/removal into the sorted lists is O(n) per attribute — this is
+// the "optimized indexing structure" whose maintenance cost the paper's VES
+// analysis depends on (Figures 8 and 9): fast matching, but version
+// replacement cost grows with the matcher population.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/matcher.hpp"
+
+namespace evps {
+
+class CountingMatcher final : public Matcher {
+ public:
+  using Matcher::match;
+
+  void add(SubscriptionId id, const std::vector<Predicate>& preds) override;
+  bool remove(SubscriptionId id) override;
+  void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
+  [[nodiscard]] bool contains(SubscriptionId id) const override { return subs_.contains(id); }
+  [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+
+  /// Total number of indexed predicates (diagnostics).
+  [[nodiscard]] std::size_t predicate_count() const noexcept { return predicate_count_; }
+
+ private:
+  struct BoundEntry {
+    double bound;
+    SubscriptionId sub;
+
+    friend bool operator<(const BoundEntry& a, const BoundEntry& b) noexcept {
+      if (a.bound != b.bound) return a.bound < b.bound;
+      return a.sub < b.sub;
+    }
+  };
+
+  struct AttributeIndex {
+    // pub_value OP bound; sorted ascending by bound.
+    std::vector<BoundEntry> lt, le, gt, ge;
+    std::unordered_map<double, std::vector<SubscriptionId>> eq_num;
+    std::unordered_map<std::string, std::vector<SubscriptionId>> eq_str;
+    std::vector<std::pair<Value, SubscriptionId>> ne;
+    // Ordered string comparisons (rare): evaluated by scan.
+    std::vector<std::pair<Predicate, SubscriptionId>> misc;
+
+    [[nodiscard]] bool empty() const noexcept {
+      return lt.empty() && le.empty() && gt.empty() && ge.empty() && eq_num.empty() &&
+             eq_str.empty() && ne.empty() && misc.empty();
+    }
+  };
+
+  void index_predicate(SubscriptionId id, const Predicate& p);
+  void unindex_predicate(SubscriptionId id, const Predicate& p);
+
+  std::map<std::string, AttributeIndex, std::less<>> index_;
+  std::unordered_map<SubscriptionId, std::vector<Predicate>> subs_;
+  std::size_t predicate_count_ = 0;
+};
+
+}  // namespace evps

@@ -1,0 +1,66 @@
+// The standard (non-evolving) matching engine interface.
+//
+// Matchers store *static* predicates only. Evolving predicates never enter a
+// matcher directly: VES inserts materialised versions, LEES/CLEES keep them
+// in their own structures (Section V). Attempting to add an evolving
+// predicate throws.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "message/predicate.hpp"
+#include "message/publication.hpp"
+
+namespace evps {
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Install `preds` (conjunctive) under `id`. `id` must not already be
+  /// present; predicates must all be static.
+  virtual void add(SubscriptionId id, const std::vector<Predicate>& preds) = 0;
+
+  /// Remove the subscription; returns false if unknown.
+  virtual bool remove(SubscriptionId id) = 0;
+
+  /// Append all matching subscription ids to `out` in ascending id order.
+  virtual void match(const Publication& pub, std::vector<SubscriptionId>& out) const = 0;
+
+  [[nodiscard]] virtual bool contains(SubscriptionId id) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Convenience wrapper.
+  [[nodiscard]] std::vector<SubscriptionId> match(const Publication& pub) const {
+    std::vector<SubscriptionId> out;
+    match(pub, out);
+    return out;
+  }
+
+ protected:
+  static void require_static(const std::vector<Predicate>& preds) {
+    for (const auto& p : preds) {
+      if (p.is_evolving()) {
+        throw std::invalid_argument(
+            "matcher only stores static predicates; materialise evolving ones first");
+      }
+    }
+  }
+};
+
+using MatcherPtr = std::unique_ptr<Matcher>;
+
+/// Matcher implementations selectable by configuration:
+///   * kBruteForce — linear-scan oracle (tests, baselines)
+///   * kCounting   — sorted per-attribute operator indexes: fast match,
+///                   O(n) insert/remove (the default)
+///   * kChurn      — unordered buckets: O(1) amortised insert/remove for
+///                   high subscription churn [10], linear-ish match
+enum class MatcherKind { kBruteForce, kCounting, kChurn };
+
+[[nodiscard]] MatcherPtr make_matcher(MatcherKind kind);
+
+}  // namespace evps

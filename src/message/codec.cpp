@@ -1,0 +1,169 @@
+#include "message/codec.hpp"
+
+#include <charconv>
+
+#include "common/string_util.hpp"
+#include "expr/parser.hpp"
+
+namespace evps {
+namespace {
+
+/// Try to interpret `text` as a literal constant (number or quoted string).
+std::optional<Value> parse_literal(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text.front() == '\'') {
+    if (text.size() < 2 || text.back() != '\'') {
+      throw CodecError("unterminated string literal: " + std::string(text));
+    }
+    return Value{std::string(text.substr(1, text.size() - 2))};
+  }
+  {
+    std::int64_t i = 0;
+    auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), i);
+    if (ec == std::errc{} && p == text.data() + text.size()) return Value{i};
+  }
+  {
+    double d = 0;
+    auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), d);
+    if (ec == std::errc{} && p == text.data() + text.size()) return Value{d};
+  }
+  return std::nullopt;
+}
+
+/// Find the relational operator in a predicate string; returns
+/// (attribute, op, operand-text).
+std::tuple<std::string_view, RelOp, std::string_view> split_predicate(std::string_view text) {
+  // Scan for the first of <=, >=, !=, <>, <, >, =, == outside quotes.
+  bool in_quote = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\'') in_quote = !in_quote;
+    if (in_quote) continue;
+    std::string_view op_text;
+    if (c == '<' || c == '>' || c == '!' || c == '=') {
+      if (i + 1 < text.size() && (text[i + 1] == '=' || (c == '<' && text[i + 1] == '>'))) {
+        op_text = text.substr(i, 2);
+      } else {
+        op_text = text.substr(i, 1);
+      }
+      const auto op = parse_rel_op(op_text);
+      if (!op.has_value()) throw CodecError("bad operator in predicate: " + std::string(text));
+      const auto attr = trim(text.substr(0, i));
+      const auto rest = trim(text.substr(i + op_text.size()));
+      if (attr.empty()) throw CodecError("missing attribute in predicate: " + std::string(text));
+      if (rest.empty()) throw CodecError("missing operand in predicate: " + std::string(text));
+      return {attr, *op, rest};
+    }
+  }
+  throw CodecError("no relational operator in predicate: " + std::string(text));
+}
+
+double parse_seconds(std::string_view text, std::string_view what) {
+  double d = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), d);
+  if (ec != std::errc{} || p != text.data() + text.size()) {
+    throw CodecError("bad " + std::string(what) + " value: " + std::string(text));
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string serialize(const Publication& pub) {
+  std::string out;
+  for (std::size_t i = 0; i < pub.attributes().size(); ++i) {
+    if (i != 0) out += "; ";
+    out += pub.attributes()[i].first;
+    out += " = ";
+    out += pub.attributes()[i].second.to_string();
+  }
+  return out;
+}
+
+Publication parse_publication(std::string_view text) {
+  Publication pub;
+  if (trim(text).empty()) return pub;
+  for (const auto field : split_quoted(text, ';')) {
+    const auto trimmed = trim(field);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw CodecError("publication attribute must be name = value: " + std::string(trimmed));
+    }
+    const auto name = trim(trimmed.substr(0, eq));
+    const auto value_text = trim(trimmed.substr(eq + 1));
+    if (name.empty()) throw CodecError("empty attribute name in: " + std::string(trimmed));
+    pub.set(name, Value::parse(value_text));
+  }
+  return pub;
+}
+
+std::string serialize(const Predicate& pred) { return pred.to_string(); }
+
+Predicate parse_predicate(std::string_view text) {
+  const auto [attr, op, operand] = split_predicate(trim(text));
+  if (const auto literal = parse_literal(operand)) {
+    return Predicate{std::string(attr), op, *literal};
+  }
+  try {
+    return Predicate{std::string(attr), op, parse_expr(operand)};
+  } catch (const ParseError& e) {
+    throw CodecError("bad predicate operand '" + std::string(operand) + "': " + e.what());
+  }
+}
+
+std::string serialize(const Subscription& sub) {
+  std::string out;
+  const Subscription defaults;
+  if (sub.mei() != defaults.mei()) {
+    out += "[mei=" + std::to_string(sub.mei().count_seconds()) + "]";
+  }
+  if (sub.tt() != defaults.tt()) {
+    out += "[tt=" + std::to_string(sub.tt().count_seconds()) + "]";
+  }
+  if (sub.validity() != defaults.validity()) {
+    out += "[validity=" + std::to_string(sub.validity().count_seconds()) + "]";
+  }
+  if (!out.empty()) out += " ";
+  for (std::size_t i = 0; i < sub.predicates().size(); ++i) {
+    if (i != 0) out += "; ";
+    out += sub.predicates()[i].to_string();
+  }
+  return out;
+}
+
+Subscription parse_subscription(std::string_view text) {
+  Subscription sub;
+  auto rest = trim(text);
+  while (!rest.empty() && rest.front() == '[') {
+    const auto close = rest.find(']');
+    if (close == std::string_view::npos) throw CodecError("unterminated option bracket");
+    const auto body = rest.substr(1, close - 1);
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      throw CodecError("option must be key=value: " + std::string(body));
+    }
+    const auto key = trim(body.substr(0, eq));
+    const auto value = trim(body.substr(eq + 1));
+    if (key == "mei") {
+      sub.set_mei(Duration::seconds(parse_seconds(value, key)));
+    } else if (key == "tt") {
+      sub.set_tt(Duration::seconds(parse_seconds(value, key)));
+    } else if (key == "validity") {
+      sub.set_validity(Duration::seconds(parse_seconds(value, key)));
+    } else {
+      throw CodecError("unknown subscription option: " + std::string(key));
+    }
+    rest = trim(rest.substr(close + 1));
+  }
+  if (rest.empty()) throw CodecError("subscription has no predicates");
+  for (const auto field : split_quoted(rest, ';')) {
+    const auto trimmed = trim(field);
+    if (trimmed.empty()) continue;
+    sub.add(parse_predicate(trimmed));
+  }
+  if (sub.predicates().empty()) throw CodecError("subscription has no predicates");
+  return sub;
+}
+
+}  // namespace evps

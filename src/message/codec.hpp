@@ -1,0 +1,38 @@
+// Human-readable text codec for publications, predicates and subscriptions.
+//
+// This is the client-facing subscription language:
+//
+//   publication:  "x = 4; y = 3; action = 'pickup'"
+//   subscription: "[mei=1][tt=0.5][validity=10] x >= -3 + t; x <= 3 + t"
+//
+// Bracketed options (seconds, double) are optional and may appear in any
+// order. A predicate operand that parses fully as a number or quoted string
+// becomes a static constant; anything else is parsed as an evolution
+// expression (see expr/parser.hpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "message/predicate.hpp"
+#include "message/publication.hpp"
+#include "message/subscription.hpp"
+
+namespace evps {
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] std::string serialize(const Publication& pub);
+[[nodiscard]] Publication parse_publication(std::string_view text);
+
+[[nodiscard]] std::string serialize(const Predicate& pred);
+[[nodiscard]] Predicate parse_predicate(std::string_view text);
+
+/// Serialises options (only non-default ones) followed by predicates.
+[[nodiscard]] std::string serialize(const Subscription& sub);
+[[nodiscard]] Subscription parse_subscription(std::string_view text);
+
+}  // namespace evps

@@ -1,0 +1,100 @@
+// Wire messages exchanged between nodes (clients and brokers) of the
+// overlay. The simulator delivers Envelopes across links with latency.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "message/advertisement.hpp"
+#include "message/publication.hpp"
+#include "message/subscription.hpp"
+
+namespace evps {
+
+/// Piggybacked snapshot of evolution-variable values recorded at the entry
+/// broker (Section V-D, snapshot consistency extension for LEES/CLEES).
+using VariableSnapshot = std::map<std::string, double>;
+using VariableSnapshotPtr = std::shared_ptr<const VariableSnapshot>;
+
+struct SubscribeMsg {
+  SubscriptionPtr sub;
+};
+
+struct UnsubscribeMsg {
+  SubscriptionId id;
+};
+
+/// Parametric-subscriptions baseline [12]: one update message adjusts the
+/// constant operands of an installed subscription in place. `new_values[i]`
+/// replaces the operand of predicate i; entries without a value keep the
+/// existing operand.
+struct SubscriptionUpdateMsg {
+  SubscriptionId id;
+  std::vector<std::optional<Value>> new_values;
+};
+
+struct PublishMsg {
+  Publication pub;
+  /// Present only in snapshot-consistency mode.
+  VariableSnapshotPtr snapshot;
+};
+
+struct AdvertiseMsg {
+  std::shared_ptr<const Advertisement> adv;
+};
+
+struct UnadvertiseMsg {
+  MessageId id;
+};
+
+/// Control-plane propagation of a discrete evolution variable (e.g. the game
+/// server flooding the current visibility value to brokers).
+struct VarUpdateMsg {
+  std::string name;
+  double value;
+};
+
+/// Final-hop delivery from a broker to a matched subscriber client.
+struct DeliveryMsg {
+  Publication pub;
+};
+
+using Message = std::variant<SubscribeMsg, UnsubscribeMsg, SubscriptionUpdateMsg, PublishMsg,
+                             AdvertiseMsg, UnadvertiseMsg, VarUpdateMsg, DeliveryMsg>;
+
+/// A message in flight between two nodes.
+struct Envelope {
+  MessageId id{};
+  NodeId from{};
+  NodeId to{};
+  Message msg;
+};
+
+/// Subscription-related control traffic — the paper's primary metric counts
+/// subscribe, unsubscribe and (for the parametric baseline) update messages
+/// received by brokers (Section VI-A1).
+[[nodiscard]] inline bool is_subscription_related(const Message& m) noexcept {
+  return std::holds_alternative<SubscribeMsg>(m) || std::holds_alternative<UnsubscribeMsg>(m) ||
+         std::holds_alternative<SubscriptionUpdateMsg>(m);
+}
+
+[[nodiscard]] inline const char* message_kind(const Message& m) noexcept {
+  struct Visitor {
+    const char* operator()(const SubscribeMsg&) const { return "subscribe"; }
+    const char* operator()(const UnsubscribeMsg&) const { return "unsubscribe"; }
+    const char* operator()(const SubscriptionUpdateMsg&) const { return "sub_update"; }
+    const char* operator()(const PublishMsg&) const { return "publish"; }
+    const char* operator()(const AdvertiseMsg&) const { return "advertise"; }
+    const char* operator()(const UnadvertiseMsg&) const { return "unadvertise"; }
+    const char* operator()(const VarUpdateMsg&) const { return "var_update"; }
+    const char* operator()(const DeliveryMsg&) const { return "delivery"; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+}  // namespace evps

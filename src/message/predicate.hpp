@@ -1,0 +1,77 @@
+// Content-based predicates, static and evolving.
+//
+// A static predicate compares a publication attribute against a constant
+// Value:            (price < 15.29)
+// An evolving predicate compares it against an expression over evolution
+// variables:        (x >= (-3 + t) * v)
+//
+// Predicates within one subscription are conjunctive (Section III-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/value.hpp"
+#include "expr/ast.hpp"
+
+namespace evps {
+
+enum class RelOp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+[[nodiscard]] std::string_view to_string(RelOp op) noexcept;
+[[nodiscard]] std::optional<RelOp> parse_rel_op(std::string_view text) noexcept;
+
+/// Apply `op` to (lhs, rhs) in the content-based sense; incomparable values
+/// (string vs numeric) never satisfy any operator except kNe.
+[[nodiscard]] bool apply_rel_op(RelOp op, const Value& lhs, const Value& rhs) noexcept;
+
+class Predicate {
+ public:
+  /// Static predicate: attribute `op` constant.
+  Predicate(std::string attribute, RelOp op, Value constant);
+
+  /// Evolving predicate: attribute `op` fun(vars...). If `fun` is itself
+  /// constant, the predicate degenerates to a static one.
+  Predicate(std::string attribute, RelOp op, ExprPtr fun);
+
+  [[nodiscard]] const std::string& attribute() const noexcept { return attribute_; }
+  [[nodiscard]] RelOp op() const noexcept { return op_; }
+
+  [[nodiscard]] bool is_evolving() const noexcept {
+    return std::holds_alternative<ExprPtr>(operand_);
+  }
+
+  /// Static operand; only valid when !is_evolving().
+  [[nodiscard]] const Value& constant() const { return std::get<Value>(operand_); }
+
+  /// Evolving operand; only valid when is_evolving().
+  [[nodiscard]] const ExprPtr& fun() const { return std::get<ExprPtr>(operand_); }
+
+  /// Evaluate against a publication attribute value. Static predicates
+  /// ignore `env`; evolving predicates evaluate their function under `env`.
+  [[nodiscard]] bool matches(const Value& pub_value, const Env& env) const;
+
+  /// Static-only fast path; requires !is_evolving().
+  [[nodiscard]] bool matches(const Value& pub_value) const;
+
+  /// Produce the non-evolving version of this predicate under `env`
+  /// (VES/CLEES version materialisation). Static predicates return a copy.
+  [[nodiscard]] Predicate materialize(const Env& env) const;
+
+  /// Variables referenced by the operand (empty for static predicates).
+  [[nodiscard]] std::set<std::string> variables() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const Predicate& other) const noexcept;
+
+ private:
+  std::string attribute_;
+  RelOp op_;
+  std::variant<Value, ExprPtr> operand_;
+};
+
+}  // namespace evps

@@ -1,0 +1,39 @@
+#include "message/publication.hpp"
+
+#include <algorithm>
+
+namespace evps {
+
+Publication& Publication::set(std::string_view name, Value value) {
+  const auto pos = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const Attribute& a, std::string_view n) { return a.first < n; });
+  if (pos != attrs_.end() && pos->first == name) {
+    pos->second = std::move(value);
+  } else {
+    attrs_.emplace(pos, std::string(name), std::move(value));
+  }
+  return *this;
+}
+
+const Value* Publication::get(std::string_view name) const noexcept {
+  const auto pos = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const Attribute& a, std::string_view n) { return a.first < n; });
+  if (pos != attrs_.end() && pos->first == name) return &pos->second;
+  return nullptr;
+}
+
+std::string Publication::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i != 0) out += "; ";
+    out += attrs_[i].first;
+    out += " = ";
+    out += attrs_[i].second.to_string();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace evps

@@ -1,0 +1,63 @@
+// Publications: sets of attribute-value pairs (Section III-A).
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "common/value.hpp"
+
+namespace evps {
+
+class Publication {
+ public:
+  using Attribute = std::pair<std::string, Value>;
+
+  Publication() = default;
+  Publication(std::initializer_list<Attribute> attrs) {
+    for (auto& [name, value] : attrs) set(name, value);
+  }
+
+  /// Insert or replace an attribute. Attributes are kept sorted by name so
+  /// publications have a canonical form.
+  Publication& set(std::string_view name, Value value);
+
+  /// Value of `name`, or nullptr if absent.
+  [[nodiscard]] const Value* get(std::string_view name) const noexcept;
+
+  [[nodiscard]] bool has(std::string_view name) const noexcept { return get(name) != nullptr; }
+
+  [[nodiscard]] const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return attrs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return attrs_.empty(); }
+
+  /// Publisher-assigned sequence number and origin; set by the client layer.
+  [[nodiscard]] MessageId id() const noexcept { return id_; }
+  void set_id(MessageId id) noexcept { id_ = id; }
+  [[nodiscard]] ClientId publisher() const noexcept { return publisher_; }
+  void set_publisher(ClientId c) noexcept { publisher_ = c; }
+
+  /// Time the publication entered the system at its entry-point broker; used
+  /// by the ground-truth oracle and by snapshot-consistency mode.
+  [[nodiscard]] SimTime entry_time() const noexcept { return entry_time_; }
+  void set_entry_time(SimTime t) noexcept { entry_time_ = t; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const Publication& other) const noexcept {
+    return attrs_ == other.attrs_;
+  }
+
+ private:
+  std::vector<Attribute> attrs_;
+  MessageId id_{};
+  ClientId publisher_{};
+  SimTime entry_time_{};
+};
+
+}  // namespace evps

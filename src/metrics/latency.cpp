@@ -1,0 +1,27 @@
+#include "metrics/latency.hpp"
+
+namespace evps {
+
+Summary collect_delivery_latency(const Overlay& overlay) {
+  Summary summary;
+  for (const auto& client : overlay.clients()) {
+    for (const auto& d : client->deliveries()) {
+      summary.record((d.when - d.pub.entry_time()).count_seconds());
+    }
+  }
+  return summary;
+}
+
+std::map<ClientId, Summary> collect_delivery_latency_per_client(const Overlay& overlay) {
+  std::map<ClientId, Summary> out;
+  for (const auto& client : overlay.clients()) {
+    if (client->deliveries().empty()) continue;
+    auto& summary = out[client->id()];
+    for (const auto& d : client->deliveries()) {
+      summary.record((d.when - d.pub.entry_time()).count_seconds());
+    }
+  }
+  return out;
+}
+
+}  // namespace evps

@@ -1,0 +1,49 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace evps {
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[i]))
+         << cells[i];
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (const auto w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+void print_banner(std::string_view title, std::ostream& os) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace evps

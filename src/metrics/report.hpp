@@ -1,0 +1,32 @@
+// Fixed-width table printing for the experiment harness: every bench binary
+// prints the rows/series of the paper figure it regenerates through this.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace evps {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os = std::cout) const;
+
+  /// Format a double with fixed precision.
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+  /// Format as a percentage ("96.8%").
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner for an experiment.
+void print_banner(std::string_view title, std::ostream& os = std::cout);
+
+}  // namespace evps

@@ -1,0 +1,25 @@
+#include "metrics/traffic.hpp"
+
+namespace evps {
+
+TrafficProbe::TrafficProbe(Overlay& overlay, Duration interval, SimTime until)
+    : overlay_(overlay), interval_(interval) {
+  if (interval <= Duration::zero()) throw std::invalid_argument("interval must be positive");
+  auto& sim = overlay.simulator();
+  sim.every(sim.now() + interval, interval, until + Duration::micros(1), [this](SimTime) {
+    const std::uint64_t total = overlay_.total_subscription_msgs();
+    const auto broker_count = overlay_.brokers().size();
+    const double delta = static_cast<double>(total - last_total_);
+    last_total_ = total;
+    samples_.push_back(broker_count == 0 ? 0.0 : delta / static_cast<double>(broker_count));
+  });
+}
+
+double TrafficProbe::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (const double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace evps

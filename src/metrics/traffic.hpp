@@ -1,0 +1,41 @@
+// Subscription message traffic over time (Section VI-A1, Figures 6(a)-(c)).
+//
+// Samples the cumulative per-broker subscription-related message counters at
+// a fixed interval and reports, per interval, the average number of
+// subscription messages received per broker — the paper's primary metric
+// ("average number of subscription-related messages per minute received by
+// any broker in the system").
+#pragma once
+
+#include <vector>
+
+#include "broker/overlay.hpp"
+#include "sim/simulator.hpp"
+
+namespace evps {
+
+class TrafficProbe {
+ public:
+  /// Start sampling `overlay` every `interval`, from `interval` to `until`.
+  /// Must be created before the simulation runs past `interval`.
+  TrafficProbe(Overlay& overlay, Duration interval, SimTime until);
+
+  /// One value per completed interval: subscription messages received during
+  /// the interval, averaged over brokers.
+  [[nodiscard]] const std::vector<double>& per_interval_per_broker() const noexcept {
+    return samples_;
+  }
+
+  /// Mean over all completed intervals.
+  [[nodiscard]] double mean() const noexcept;
+
+  [[nodiscard]] Duration interval() const noexcept { return interval_; }
+
+ private:
+  Overlay& overlay_;
+  Duration interval_;
+  std::uint64_t last_total_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace evps

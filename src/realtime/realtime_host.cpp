@@ -1,0 +1,84 @@
+#include "realtime/realtime_host.hpp"
+
+#include <future>
+
+namespace evps {
+
+RealTimeHost::RealTimeHost() : epoch_(Clock::now()), worker_([this] { worker_loop(); }) {}
+
+RealTimeHost::~RealTimeHost() { stop(); }
+
+SimTime RealTimeHost::now() const {
+  const auto elapsed = Clock::now() - epoch_;
+  return SimTime::from_micros(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void RealTimeHost::schedule(Duration delay, std::function<void()> fn) {
+  const auto when = clock_now() + std::chrono::microseconds(
+                                      delay < Duration::zero() ? 0 : delay.count_micros());
+  schedule_at(when, std::move(fn));
+}
+
+void RealTimeHost::schedule_at(Clock::time_point when, std::function<void()> fn) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) return;
+    tasks_.push(Task{when, next_seq_++, std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void RealTimeHost::invoke(std::function<void()> fn) {
+  if (std::this_thread::get_id() == worker_.get_id()) {
+    fn();  // already on the worker thread
+    return;
+  }
+  std::promise<void> done;
+  auto future = done.get_future();
+  post([&fn, &done] {
+    try {
+      fn();
+      done.set_value();
+    } catch (...) {
+      done.set_exception(std::current_exception());
+    }
+  });
+  future.get();
+}
+
+void RealTimeHost::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      // Already stopped or stopping.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (worker_.joinable()) worker_.join();
+}
+
+void RealTimeHost::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (tasks_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      continue;
+    }
+    const auto when = tasks_.top().when;
+    if (when > Clock::now()) {
+      cv_.wait_until(lock, when, [this, when] {
+        return stopping_ || (!tasks_.empty() && tasks_.top().when < when);
+      });
+      continue;
+    }
+    auto task = std::move(const_cast<Task&>(tasks_.top()));
+    tasks_.pop();
+    lock.unlock();
+    task.fn();
+    lock.lock();
+  }
+}
+
+}  // namespace evps

@@ -1,0 +1,83 @@
+// Real-time EngineHost: wall-clock timers on a dedicated worker thread.
+//
+// The experiment harness runs everything on the deterministic simulator, but
+// the paper's implementation (Section V-A) uses threads that monitor the ESQ
+// and update versions as wall-clock time passes. This host reproduces that
+// architecture: engine operations and timer callbacks all execute on one
+// worker thread, which serialises matcher version replacements exactly like
+// the paper's replacement lock.
+//
+// Usage: interact with the engine exclusively through post()/invoke() so
+// every engine operation runs on the worker thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "evolving/engine.hpp"
+
+namespace evps {
+
+class RealTimeHost final : public EngineHost {
+ public:
+  RealTimeHost();
+  ~RealTimeHost() override;
+
+  RealTimeHost(const RealTimeHost&) = delete;
+  RealTimeHost& operator=(const RealTimeHost&) = delete;
+
+  // --- EngineHost (must be called from the worker thread) -------------------
+  [[nodiscard]] SimTime now() const override;
+  void schedule(Duration delay, std::function<void()> fn) override;
+  [[nodiscard]] VariableRegistry& variables() override { return registry_; }
+
+  // --- cross-thread interface ------------------------------------------------
+  /// Run `fn` on the worker thread as soon as possible (asynchronous).
+  void post(std::function<void()> fn) { schedule_at(clock_now(), std::move(fn)); }
+
+  /// Run `fn` on the worker thread and wait for completion.
+  void invoke(std::function<void()> fn);
+
+  /// Convenience: set an evolution variable from any thread.
+  void set_variable(const std::string& name, double value) {
+    invoke([this, name, value] { registry_.set(name, value, now()); });
+  }
+
+  /// Stop the worker thread; pending timers are dropped. Idempotent.
+  void stop();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  [[nodiscard]] Clock::time_point clock_now() const { return Clock::now(); }
+  void schedule_at(Clock::time_point when, std::function<void()> fn);
+  void worker_loop();
+
+  struct Task {
+    Clock::time_point when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Task& a, const Task& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Clock::time_point epoch_;
+  VariableRegistry registry_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Task, std::vector<Task>, Later> tasks_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace evps

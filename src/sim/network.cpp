@@ -1,0 +1,63 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace evps {
+namespace {
+std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) noexcept {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+NodeId Network::attach(NetworkNode& node) {
+  const NodeId id{static_cast<std::uint64_t>(nodes_.size())};
+  node.node_id_ = id;
+  nodes_.push_back(&node);
+  adjacency_.try_emplace(id);
+  return id;
+}
+
+void Network::connect(NodeId a, NodeId b, Duration latency) {
+  if (a == b) throw std::invalid_argument("cannot link a node to itself");
+  if (a.value() >= nodes_.size() || b.value() >= nodes_.size()) {
+    throw std::invalid_argument("cannot link unattached nodes");
+  }
+  if (latency < Duration::zero()) throw std::invalid_argument("latency must be >= 0");
+  const auto [it, inserted] = links_.insert_or_assign(link_key(a, b), latency);
+  if (inserted) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+}
+
+bool Network::connected(NodeId a, NodeId b) const noexcept {
+  return links_.contains(link_key(a, b));
+}
+
+Duration Network::latency(NodeId a, NodeId b) const {
+  const auto it = links_.find(link_key(a, b));
+  if (it == links_.end()) throw std::invalid_argument("nodes are not linked");
+  return it->second;
+}
+
+std::vector<NodeId> Network::neighbors(NodeId n) const {
+  const auto it = adjacency_.find(n);
+  return it == adjacency_.end() ? std::vector<NodeId>{} : it->second;
+}
+
+MessageId Network::send(NodeId from, NodeId to, Message msg) {
+  const auto it = links_.find(link_key(from, to));
+  if (it == links_.end()) {
+    throw std::invalid_argument("send between unlinked nodes " + from.str() + " -> " + to.str());
+  }
+  const MessageId id = message_ids_.next();
+  ++messages_sent_;
+  Envelope env{id, from, to, std::move(msg)};
+  sim_.after(it->second, [this, env = std::move(env)]() {
+    for (const auto& tap : taps_) tap(env, sim_.now());
+    nodes_[env.to.value()]->on_message(env);
+  });
+  return id;
+}
+
+}  // namespace evps

@@ -1,0 +1,76 @@
+// Simulated network: nodes connected by point-to-point links with latency.
+//
+// Messages sent over a link are delivered to the destination node's
+// on_message handler after the link latency elapses. Delivery order per link
+// is FIFO (equal-latency messages keep send order via the simulator's stable
+// event ordering).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "message/messages.hpp"
+#include "sim/simulator.hpp"
+
+namespace evps {
+
+/// Anything attachable to the network: brokers and client endpoints.
+class NetworkNode {
+ public:
+  virtual ~NetworkNode() = default;
+
+  virtual void on_message(const Envelope& env) = 0;
+
+  [[nodiscard]] NodeId node_id() const noexcept { return node_id_; }
+  [[nodiscard]] virtual std::string name() const { return node_id_.str(); }
+
+ private:
+  friend class Network;
+  NodeId node_id_{};
+};
+
+class Network {
+ public:
+  /// Observes every message at delivery time (metrics taps).
+  using Tap = std::function<void(const Envelope&, SimTime delivered_at)>;
+
+  explicit Network(Simulator& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register a node. The node must outlive the network. Returns its id.
+  NodeId attach(NetworkNode& node);
+
+  /// Create a bidirectional link with symmetric latency. Re-connecting an
+  /// existing pair updates the latency.
+  void connect(NodeId a, NodeId b, Duration latency);
+
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const noexcept;
+  [[nodiscard]] Duration latency(NodeId a, NodeId b) const;
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
+
+  /// Send `msg` from `from` to `to`; the nodes must be linked. Returns the
+  /// assigned message id. Delivery is scheduled after the link latency.
+  MessageId send(NodeId from, NodeId to, Message msg);
+
+  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::vector<NetworkNode*> nodes_;
+  std::map<std::pair<NodeId, NodeId>, Duration> links_;
+  std::unordered_map<NodeId, std::vector<NodeId>> adjacency_;
+  std::vector<Tap> taps_;
+  IdGenerator<MessageId> message_ids_;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace evps

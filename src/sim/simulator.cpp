@@ -1,0 +1,51 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace evps {
+
+void Simulator::at(SimTime t, Action fn) {
+  if (t < now_) throw std::invalid_argument("cannot schedule an event in the past");
+  if (!fn) throw std::invalid_argument("cannot schedule an empty action");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::every(SimTime first, Duration period, SimTime until,
+                      std::function<void(SimTime)> fn) {
+  if (period <= Duration::zero()) throw std::invalid_argument("period must be positive");
+  if (first >= until) return;
+  at(first, [this, first, period, until, fn = std::move(fn)]() {
+    fn(first);
+    every(first + period, period, until, fn);
+  });
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping so re-entrant scheduling is safe.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+std::size_t Simulator::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace evps

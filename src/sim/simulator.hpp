@@ -1,0 +1,74 @@
+// Deterministic discrete-event simulator.
+//
+// Substitutes for the paper's 100-machine cluster: brokers and clients are
+// nodes whose message exchanges and timers become events on a single virtual
+// timeline. Same-time events execute in scheduling order (FIFO), so a run is
+// a pure function of the workload seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace evps {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, Action fn);
+
+  /// Schedule `fn` after a relative delay (must be >= 0).
+  void after(Duration d, Action fn) { at(now_ + d, std::move(fn)); }
+
+  /// Schedule `fn` every `period` starting at `first`, until `until`
+  /// (exclusive). `fn` receives the firing time.
+  void every(SimTime first, Duration period, SimTime until,
+             std::function<void(SimTime)> fn);
+
+  /// Execute the next event, advancing the clock. Returns false when the
+  /// queue is empty.
+  bool step();
+
+  /// Execute all events with time <= `t`, then advance the clock to `t`.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime t);
+
+  /// Drain the queue (bounded by `max_events` as a runaway backstop).
+  /// Returns the number of events executed.
+  std::size_t run_all(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace evps

@@ -1,0 +1,23 @@
+#include "sim/stats.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace evps {
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = summary_.count();
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      if (i < boundaries_.size()) return boundaries_[i];
+      return summary_.max();
+    }
+  }
+  return summary_.max();
+}
+
+}  // namespace evps

@@ -1,0 +1,86 @@
+// Lightweight statistics: counters and a fixed-boundary histogram used by
+// the experiment harness for processing-time and latency distributions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace evps {
+
+/// Streaming summary of a sequence of doubles.
+class Summary {
+ public:
+  void record(double x) noexcept {
+    ++count_;
+    sum_ += x;
+    sum_sq_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    const double n = static_cast<double>(count_);
+    return std::max(0.0, (sum_sq_ - sum_ * sum_ / n) / (n - 1));
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const Summary& other) noexcept {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  void reset() noexcept { *this = Summary{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over explicit bucket boundaries. Values < first boundary fall
+/// into bucket 0; values >= last boundary into the overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries) : boundaries_(std::move(boundaries)) {
+    if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {
+      throw std::invalid_argument("histogram boundaries must be sorted");
+    }
+    counts_.assign(boundaries_.size() + 1, 0);
+  }
+
+  void record(double x) noexcept {
+    const auto pos = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
+    ++counts_[static_cast<std::size_t>(pos - boundaries_.begin())];
+    summary_.record(x);
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] const std::vector<double>& boundaries() const noexcept { return boundaries_; }
+  [[nodiscard]] const Summary& summary() const noexcept { return summary_; }
+
+  /// Approximate quantile (bucket upper bound containing the q-th sample).
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::uint64_t> counts_;
+  Summary summary_;
+};
+
+}  // namespace evps

@@ -1,0 +1,63 @@
+// The five systems compared in the paper's evaluation plus the centralised
+// ground-truth configuration (Section VI).
+#pragma once
+
+#include "evolving/engine.hpp"
+
+namespace evps {
+
+enum class SystemKind {
+  kResub,       // baseline: unsubscribe + subscribe per interest change
+  kParametric,  // baseline [12]: one update message per interest change
+  kVes,
+  kLees,
+  kClees,
+  /// Adaptive VES/CLEES hybrid (the paper's Section IV-C future work).
+  kHybrid,
+  /// Centralised instantaneous configuration used to produce the
+  /// ground-truth delivery log (single broker, zero latency, lazy exact
+  /// evaluation).
+  kGroundTruth,
+};
+
+[[nodiscard]] constexpr const char* to_string(SystemKind kind) noexcept {
+  switch (kind) {
+    case SystemKind::kResub: return "resub";
+    case SystemKind::kParametric: return "parametric";
+    case SystemKind::kVes: return "VES";
+    case SystemKind::kLees: return "LEES";
+    case SystemKind::kClees: return "CLEES";
+    case SystemKind::kHybrid: return "hybrid";
+    case SystemKind::kGroundTruth: return "ground-truth";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr EngineKind engine_kind_for(SystemKind kind) noexcept {
+  switch (kind) {
+    case SystemKind::kResub: return EngineKind::kStatic;
+    case SystemKind::kParametric: return EngineKind::kParametric;
+    case SystemKind::kVes: return EngineKind::kVes;
+    case SystemKind::kLees: return EngineKind::kLees;
+    case SystemKind::kClees: return EngineKind::kClees;
+    case SystemKind::kHybrid: return EngineKind::kHybrid;
+    case SystemKind::kGroundTruth: return EngineKind::kLees;
+  }
+  return EngineKind::kStatic;
+}
+
+/// Clients of evolving systems install evolving subscriptions; baseline
+/// clients install static subscriptions they keep adjusting.
+[[nodiscard]] constexpr bool uses_evolving_subscriptions(SystemKind kind) noexcept {
+  switch (kind) {
+    case SystemKind::kResub:
+    case SystemKind::kParametric: return false;
+    default: return true;
+  }
+}
+
+[[nodiscard]] constexpr bool is_centralized(SystemKind kind) noexcept {
+  return kind == SystemKind::kGroundTruth;
+}
+
+}  // namespace evps

@@ -1,0 +1,116 @@
+#include "metrics/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+DeliveryLog log_of(std::initializer_list<std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+                       entries) {
+  DeliveryLog log;
+  for (const auto& [client, pubs] : entries) {
+    auto& set = log.delivered[ClientId{client}];
+    for (const auto p : pubs) set.insert(MessageId{p});
+  }
+  return log;
+}
+
+TEST(Accuracy, PerfectMatch) {
+  const auto truth = log_of({{1, {10, 11}}, {2, {12}}});
+  const auto result = compare_logs(truth, truth);
+  EXPECT_EQ(result.truth_deliveries, 3u);
+  EXPECT_EQ(result.actual_deliveries, 3u);
+  EXPECT_EQ(result.false_positives, 0u);
+  EXPECT_EQ(result.false_negatives, 0u);
+  EXPECT_EQ(result.errors(), 0u);
+  EXPECT_DOUBLE_EQ(result.error_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+}
+
+TEST(Accuracy, FalseNegatives) {
+  const auto truth = log_of({{1, {10, 11, 12}}});
+  const auto actual = log_of({{1, {10}}});
+  const auto result = compare_logs(truth, actual);
+  EXPECT_EQ(result.false_negatives, 2u);
+  EXPECT_EQ(result.false_positives, 0u);
+  EXPECT_NEAR(result.error_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Accuracy, FalsePositives) {
+  const auto truth = log_of({{1, {10}}});
+  const auto actual = log_of({{1, {10, 11, 12}}});
+  const auto result = compare_logs(truth, actual);
+  EXPECT_EQ(result.false_positives, 2u);
+  EXPECT_EQ(result.false_negatives, 0u);
+}
+
+TEST(Accuracy, MissingClientCountsAllAsFalseNegatives) {
+  const auto truth = log_of({{1, {10}}, {2, {11, 12}}});
+  const auto actual = log_of({{1, {10}}});
+  const auto result = compare_logs(truth, actual);
+  EXPECT_EQ(result.false_negatives, 2u);
+}
+
+TEST(Accuracy, UnexpectedClientCountsAllAsFalsePositives) {
+  const auto truth = log_of({{1, {10}}});
+  const auto actual = log_of({{1, {10}}, {3, {20}}});
+  const auto result = compare_logs(truth, actual);
+  EXPECT_EQ(result.false_positives, 1u);
+}
+
+TEST(Accuracy, SamePublicationToDifferentClientIsError) {
+  // Delivering pub 10 to the wrong client is both a FN (client 1) and an FP
+  // (client 2).
+  const auto truth = log_of({{1, {10}}});
+  const auto actual = log_of({{2, {10}}});
+  const auto result = compare_logs(truth, actual);
+  EXPECT_EQ(result.false_negatives, 1u);
+  EXPECT_EQ(result.false_positives, 1u);
+  EXPECT_EQ(result.errors(), 2u);
+}
+
+TEST(Accuracy, EmptyTruth) {
+  const auto result = compare_logs(DeliveryLog{}, log_of({{1, {10}}}));
+  EXPECT_EQ(result.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(result.error_rate(), 0.0);  // undefined -> 0 by convention
+  const auto empty = compare_logs(DeliveryLog{}, DeliveryLog{});
+  EXPECT_EQ(empty.errors(), 0u);
+}
+
+TEST(Accuracy, AccuracyFloorsAtZero) {
+  const auto truth = log_of({{1, {10}}});
+  const auto actual = log_of({{2, {20, 21, 22}}});
+  const auto result = compare_logs(truth, actual);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 0.0);
+}
+
+TEST(Accuracy, CollectFromOverlay) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  Broker& broker = overlay.add_broker("b", cfg);
+  PubSubClient& sub = overlay.add_client("sub");
+  PubSubClient& feed = overlay.add_client("feed");
+  sub.connect(broker, Duration::zero());
+  feed.connect(broker, Duration::zero());
+  sub.subscribe("x >= 0");
+  sim.run_until(SimTime::from_seconds(0.1));
+  const auto p1 = feed.publish("x = 1");
+  feed.publish("x = -1");
+  const auto p2 = feed.publish("x = 2");
+  sim.run_until(SimTime::from_seconds(1));
+
+  const DeliveryLog log = collect_delivery_log(overlay);
+  ASSERT_EQ(log.delivered.size(), 1u);
+  const auto& set = log.delivered.at(sub.id());
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(p1));
+  EXPECT_TRUE(set.contains(p2));
+  EXPECT_EQ(log.total(), 2u);
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,122 @@
+#include "message/advertisement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.hpp"
+
+namespace evps {
+namespace {
+
+Advertisement price_advert(double lo, double hi, const char* symbol = nullptr) {
+  Advertisement adv{MessageId{1}, ClientId{1}, {}};
+  if (symbol != nullptr) adv.add(Predicate{"symbol", RelOp::kEq, Value{symbol}});
+  adv.add(Predicate{"price", RelOp::kGe, Value{lo}});
+  adv.add(Predicate{"price", RelOp::kLe, Value{hi}});
+  return adv;
+}
+
+Subscription price_sub(double lo, double hi, const char* symbol = nullptr) {
+  Subscription sub;
+  if (symbol != nullptr) sub.add(Predicate{"symbol", RelOp::kEq, Value{symbol}});
+  sub.add(Predicate{"price", RelOp::kGe, Value{lo}});
+  sub.add(Predicate{"price", RelOp::kLe, Value{hi}});
+  return sub;
+}
+
+TEST(Advertisement, CoversRequiresAdvertisedAttributes) {
+  const Advertisement adv = price_advert(10, 20, "IBM");
+  Publication in_range{{"symbol", Value{"IBM"}}, {"price", Value{15.0}}};
+  Publication out_of_range{{"symbol", Value{"IBM"}}, {"price", Value{25.0}}};
+  Publication missing_price{{"symbol", Value{"IBM"}}};
+  EXPECT_TRUE(adv.covers(in_range));
+  EXPECT_FALSE(adv.covers(out_of_range));
+  EXPECT_FALSE(adv.covers(missing_price));
+}
+
+TEST(Advertisement, CoversIgnoresExtraPubAttributes) {
+  const Advertisement adv = price_advert(10, 20);
+  Publication pub{{"price", Value{12.0}}, {"volume", Value{1000}}};
+  EXPECT_TRUE(adv.covers(pub));
+}
+
+TEST(Advertisement, IntersectsOverlappingRanges) {
+  const Advertisement adv = price_advert(10, 20);
+  EXPECT_TRUE(adv.intersects(price_sub(15, 25)));
+  EXPECT_TRUE(adv.intersects(price_sub(20, 30)));   // touching at closed bound
+  EXPECT_FALSE(adv.intersects(price_sub(21, 30)));  // disjoint
+  EXPECT_FALSE(adv.intersects(price_sub(1, 9)));
+}
+
+TEST(Advertisement, IntersectsOpenBoundary) {
+  Advertisement adv{MessageId{1}, ClientId{1}, {}};
+  adv.add(Predicate{"price", RelOp::kLt, Value{10}});
+  Subscription sub;
+  sub.add(Predicate{"price", RelOp::kGe, Value{10}});
+  EXPECT_FALSE(adv.intersects(sub));  // (.., 10) vs [10, ..) do not meet
+  Subscription sub2;
+  sub2.add(Predicate{"price", RelOp::kGt, Value{9}});
+  EXPECT_TRUE(adv.intersects(sub2));  // (9, 10) non-empty
+}
+
+TEST(Advertisement, StringEqualityDisjointness) {
+  const Advertisement adv = price_advert(0, 100, "IBM");
+  EXPECT_TRUE(adv.intersects(price_sub(10, 20, "IBM")));
+  EXPECT_FALSE(adv.intersects(price_sub(10, 20, "MSFT")));
+  // Subscription without a symbol constraint still intersects.
+  EXPECT_TRUE(adv.intersects(price_sub(10, 20)));
+}
+
+TEST(Advertisement, UnrelatedAttributesCannotDisjoin) {
+  const Advertisement adv = price_advert(10, 20);
+  Subscription sub;
+  sub.add(Predicate{"volume", RelOp::kGt, Value{1'000'000}});
+  EXPECT_TRUE(adv.intersects(sub));  // conservative: no common attribute
+}
+
+TEST(Advertisement, EvolvingPredicatesAreUnconstrained) {
+  const Advertisement adv = price_advert(10, 20);
+  Subscription sub;
+  sub.add(Predicate{"price", RelOp::kGe, parse_expr("1000 + t")});  // evolving
+  // Even though the function currently evaluates outside the advert range,
+  // evolving predicates are conservatively treated as unconstrained.
+  EXPECT_TRUE(adv.intersects(sub));
+}
+
+TEST(Advertisement, EqualityPointIntersection) {
+  const Advertisement adv = price_advert(10, 20);
+  Subscription sub;
+  sub.add(Predicate{"price", RelOp::kEq, Value{15.0}});
+  EXPECT_TRUE(adv.intersects(sub));
+  Subscription sub2;
+  sub2.add(Predicate{"price", RelOp::kEq, Value{35.0}});
+  EXPECT_FALSE(adv.intersects(sub2));
+}
+
+TEST(Advertisement, NeverFalseNegativeOnRandomRanges) {
+  // Property: whenever a publication satisfies both advert and subscription,
+  // intersects() must be true.
+  for (int lo = 0; lo < 20; ++lo) {
+    for (int len = 0; len < 10; ++len) {
+      const Advertisement adv = price_advert(lo, lo + len);
+      for (int slo = 0; slo < 25; ++slo) {
+        const Subscription sub = price_sub(slo, slo + 3);
+        for (int p = std::max(lo, slo); p <= std::min(lo + len, slo + 3); ++p) {
+          Publication pub{{"price", Value{p}}};
+          if (adv.covers(pub) && sub.matches(pub)) {
+            ASSERT_TRUE(adv.intersects(sub)) << lo << "+" << len << " vs " << slo;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Advertisement, ToString) {
+  const Advertisement adv = price_advert(1, 2, "X");
+  const auto s = adv.to_string();
+  EXPECT_NE(s.find("adv{"), std::string::npos);
+  EXPECT_NE(s.find("price >= 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evps

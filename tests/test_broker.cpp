@@ -1,0 +1,200 @@
+// Single-broker behaviour: client attach, subscribe/publish/deliver,
+// unsubscribe, parametric updates, variable updates, stats.
+#include <gtest/gtest.h>
+
+#include "broker/overlay.hpp"
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+BrokerConfig engine_config(EngineKind kind) {
+  BrokerConfig cfg;
+  cfg.engine.kind = kind;
+  return cfg;
+}
+
+struct SingleBrokerTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+  Broker& broker = overlay.add_broker("b0", engine_config(EngineKind::kLees));
+  PubSubClient& alice = overlay.add_client("alice");
+  PubSubClient& bob = overlay.add_client("bob");
+  PubSubClient& pubber = overlay.add_client("pubber");
+
+  void SetUp() override {
+    alice.connect(broker, Duration::millis(1));
+    bob.connect(broker, Duration::millis(1));
+    pubber.connect(broker, Duration::millis(1));
+  }
+};
+
+TEST_F(SingleBrokerTest, SubscribeAndDeliver) {
+  alice.subscribe("x >= 0; x <= 10");
+  sim.run_until(sec(0.1));
+  pubber.publish("x = 5");
+  pubber.publish("x = 50");
+  sim.run_until(sec(1));
+  ASSERT_EQ(alice.deliveries().size(), 1u);
+  EXPECT_EQ(alice.deliveries()[0].pub.get("x")->as_int(), 5);
+  EXPECT_TRUE(bob.deliveries().empty());
+  EXPECT_EQ(broker.stats().publications, 2u);
+  EXPECT_EQ(broker.stats().deliveries, 1u);
+}
+
+TEST_F(SingleBrokerTest, DeliveryLatencyIsLinkRoundTrip) {
+  alice.subscribe("x >= 0");
+  sim.run_until(sec(0.1));
+  pubber.publish("x = 1");
+  sim.run_until(sec(10));
+  ASSERT_EQ(alice.deliveries().size(), 1u);
+  // publish at 0.1: 1ms to broker + 1ms to subscriber.
+  EXPECT_EQ(alice.deliveries()[0].when, sec(0.1) + Duration::millis(2));
+}
+
+TEST_F(SingleBrokerTest, EvolvingSubscriptionDelivers) {
+  alice.subscribe("x >= -3 + t; x <= 3 + t");
+  sim.run_until(sec(0.1));
+  pubber.publish("x = 4");  // outside [approx -2.9, 3.1]
+  sim.run_until(sec(2));
+  pubber.publish("x = 4");  // inside [-1, 5] at t~2
+  sim.run_until(sec(3));
+  ASSERT_EQ(alice.deliveries().size(), 1u);
+}
+
+TEST_F(SingleBrokerTest, UnsubscribeStopsDeliveries) {
+  const auto id = alice.subscribe("x >= 0");
+  sim.run_until(sec(0.1));
+  pubber.publish("x = 1");
+  sim.run_until(sec(0.2));
+  alice.unsubscribe(id);
+  sim.run_until(sec(0.3));
+  pubber.publish("x = 2");
+  sim.run_until(sec(1));
+  ASSERT_EQ(alice.deliveries().size(), 1u);
+  EXPECT_EQ(broker.subscription_count(), 0u);
+}
+
+TEST_F(SingleBrokerTest, MultipleSubscribersSamePublication) {
+  alice.subscribe("x >= 0");
+  bob.subscribe("x >= 0");
+  sim.run_until(sec(0.1));
+  pubber.publish("x = 1");
+  sim.run_until(sec(1));
+  EXPECT_EQ(alice.deliveries().size(), 1u);
+  EXPECT_EQ(bob.deliveries().size(), 1u);
+}
+
+TEST_F(SingleBrokerTest, ClientReceivesPublicationOncePerManyMatchingSubs) {
+  alice.subscribe("x >= 0");
+  alice.subscribe("x >= -5");
+  alice.subscribe("x <= 100");
+  sim.run_until(sec(0.1));
+  pubber.publish("x = 1");
+  sim.run_until(sec(1));
+  EXPECT_EQ(alice.deliveries().size(), 1u);  // destination-level dedup
+}
+
+TEST_F(SingleBrokerTest, SubscriptionStatsCounted) {
+  const auto id = alice.subscribe("x >= 0");
+  alice.unsubscribe(id);
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker.stats().subscribes, 1u);
+  EXPECT_EQ(broker.stats().unsubscribes, 1u);
+  EXPECT_EQ(broker.stats().subscription_msgs, 2u);
+}
+
+TEST_F(SingleBrokerTest, ResubscribeIsTwoMessages) {
+  const auto id = alice.subscribe("x >= 0");
+  sim.run_until(sec(0.1));
+  alice.resubscribe(id, parse_subscription("x >= 5"));
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker.stats().subscription_msgs, 3u);  // sub + unsub + sub
+  pubber.publish("x = 3");
+  pubber.publish("x = 7");
+  sim.run_until(sec(2));
+  EXPECT_EQ(alice.deliveries().size(), 1u);
+}
+
+TEST_F(SingleBrokerTest, VarUpdateSetsBrokerVariable) {
+  alice.subscribe("x <= 10 * v");
+  alice.send_var_update("v", 1.0);
+  sim.run_until(sec(0.1));
+  pubber.publish("x = 5");
+  sim.run_until(sec(0.2));
+  alice.send_var_update("v", 0.1);
+  sim.run_until(sec(0.3));
+  pubber.publish("x = 5");
+  sim.run_until(sec(1));
+  EXPECT_EQ(alice.deliveries().size(), 1u);
+  EXPECT_EQ(broker.stats().var_updates, 2u);
+}
+
+TEST_F(SingleBrokerTest, SetVariableDirectly) {
+  broker.set_variable_local("v", 0.5);
+  EXPECT_EQ(broker.variables().get("v"), 0.5);
+}
+
+TEST_F(SingleBrokerTest, DuplicateSubscriptionIdIgnored) {
+  Subscription sub = parse_subscription("x >= 0");
+  sub.set_id(SubscriptionId{12345});
+  alice.subscribe(sub);
+  Subscription dup = parse_subscription("x >= 100");
+  dup.set_id(SubscriptionId{12345});
+  bob.subscribe(dup);  // same id: broker keeps the first
+  sim.run_until(sec(0.1));
+  EXPECT_EQ(broker.subscription_count(), 1u);
+  pubber.publish("x = 1");
+  sim.run_until(sec(1));
+  EXPECT_EQ(alice.deliveries().size(), 1u);
+  EXPECT_TRUE(bob.deliveries().empty());
+}
+
+TEST_F(SingleBrokerTest, ClientValidation) {
+  PubSubClient& stray = overlay.add_client("stray");
+  EXPECT_THROW(stray.publish("x = 1"), std::logic_error);
+  EXPECT_THROW(stray.subscribe("x > 1"), std::logic_error);
+  EXPECT_THROW(stray.unsubscribe(SubscriptionId{1}), std::logic_error);
+  stray.connect(broker, Duration::zero());
+  EXPECT_THROW(stray.connect(broker, Duration::zero()), std::logic_error);
+}
+
+TEST_F(SingleBrokerTest, ParametricUpdateThroughBroker) {
+  Broker& pbroker = overlay.add_broker("pb", engine_config(EngineKind::kParametric));
+  PubSubClient& carol = overlay.add_client("carol");
+  PubSubClient& feed = overlay.add_client("feed");
+  carol.connect(pbroker, Duration::millis(1));
+  feed.connect(pbroker, Duration::millis(1));
+  const auto id = carol.subscribe("price >= 10; price <= 12");
+  sim.run_until(sec(0.1));
+  feed.publish("price = 11");
+  sim.run_until(sec(0.2));
+  carol.update_subscription(id, {Value{20.0}, Value{22.0}});
+  sim.run_until(sec(0.3));
+  feed.publish("price = 11");
+  feed.publish("price = 21");
+  sim.run_until(sec(1));
+  ASSERT_EQ(carol.deliveries().size(), 2u);
+  EXPECT_DOUBLE_EQ(*carol.deliveries()[1].pub.get("price")->numeric(), 21.0);
+  EXPECT_EQ(pbroker.stats().sub_updates, 1u);
+  EXPECT_EQ(pbroker.stats().subscription_msgs, 2u);  // subscribe + update
+}
+
+TEST_F(SingleBrokerTest, PublicationEntryTimeStamped) {
+  Broker& vbroker = overlay.add_broker("vb", engine_config(EngineKind::kVes));
+  PubSubClient& sub = overlay.add_client("sub");
+  PubSubClient& feed = overlay.add_client("feed2");
+  sub.connect(vbroker, Duration::millis(3));
+  feed.connect(vbroker, Duration::millis(3));
+  sub.subscribe("x >= 0");
+  sim.run_until(sec(0.1));
+  feed.publish("x = 1");
+  sim.run_until(sec(1));
+  ASSERT_EQ(sub.deliveries().size(), 1u);
+  EXPECT_EQ(sub.deliveries()[0].pub.entry_time(), sec(0.1) + Duration::millis(3));
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,133 @@
+// Broker robustness: malformed or unexpected message sequences must be
+// handled gracefully (ignored or no-op), never corrupt routing state.
+#include <gtest/gtest.h>
+
+#include "broker/overlay.hpp"
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+struct BrokerEdgeTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  Broker* broker = nullptr;
+  PubSubClient* client = nullptr;
+  PubSubClient* feed = nullptr;
+
+  void SetUp() override {
+    cfg.engine.kind = EngineKind::kClees;
+    broker = &overlay.add_broker("b", cfg);
+    client = &overlay.add_client("c");
+    feed = &overlay.add_client("f");
+    client->connect(*broker, Duration::millis(1));
+    feed->connect(*broker, Duration::millis(1));
+  }
+};
+
+TEST_F(BrokerEdgeTest, UnsubscribeUnknownIdIsIgnored) {
+  client->unsubscribe(SubscriptionId{424242});
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker->stats().unsubscribes, 1u);
+  EXPECT_EQ(broker->subscription_count(), 0u);
+}
+
+TEST_F(BrokerEdgeTest, UpdateUnknownIdIsIgnored) {
+  client->update_subscription(SubscriptionId{424242}, {Value{1.0}});
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker->stats().sub_updates, 1u);
+  EXPECT_EQ(broker->subscription_count(), 0u);
+}
+
+TEST_F(BrokerEdgeTest, DoubleUnsubscribeIsIdempotent) {
+  const auto id = client->subscribe("x > 0");
+  sim.run_until(sec(0.1));
+  client->unsubscribe(id);
+  client->unsubscribe(id);
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker->subscription_count(), 0u);
+  EXPECT_EQ(broker->stats().unsubscribes, 2u);
+}
+
+TEST_F(BrokerEdgeTest, PublicationWithNoAttributesMatchesNothing) {
+  client->subscribe("x > 0");
+  sim.run_until(sec(0.1));
+  feed->publish(Publication{});
+  sim.run_until(sec(1));
+  EXPECT_TRUE(client->deliveries().empty());
+  EXPECT_EQ(broker->stats().publications, 1u);
+}
+
+TEST_F(BrokerEdgeTest, PublicationBeforeAnySubscription) {
+  feed->publish("x = 1");
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker->stats().publications, 1u);
+  EXPECT_EQ(broker->stats().deliveries, 0u);
+}
+
+TEST_F(BrokerEdgeTest, UnadvertiseUnknownIdIsIgnored) {
+  feed->unadvertise(MessageId{999});
+  sim.run_until(sec(1));  // must not throw or corrupt anything
+  feed->publish("x = 1");
+  sim.run_until(sec(2));
+}
+
+TEST_F(BrokerEdgeTest, DuplicateAdvertisementIgnored) {
+  // The same advertisement arriving twice (e.g. rebroadcast) is dropped by
+  // the cycle guard.
+  auto adv = std::make_shared<Advertisement>(MessageId{1}, feed->id(),
+                                             std::vector<Predicate>{parse_predicate("x > 0")});
+  overlay.network().send(feed->node_id(), broker->node_id(), AdvertiseMsg{adv});
+  overlay.network().send(feed->node_id(), broker->node_id(), AdvertiseMsg{adv});
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker->stats().advertisements, 2u);
+}
+
+TEST_F(BrokerEdgeTest, EvolvingSubscriptionOnUnknownVariableFailsClosed) {
+  // A subscription referencing a variable the broker has never seen: LEES
+  // evaluation throws internally per predicate? No — evaluation of an
+  // unbound variable is a subscription-programming error; the engine treats
+  // the publication as non-matching for that subscription.
+  client->subscribe("x <= 10 * neverSetVariable");
+  sim.run_until(sec(0.1));
+  // Must not crash; the delivery simply does not happen.
+  EXPECT_NO_THROW({
+    feed->publish("x = 1");
+    sim.run_until(sec(1));
+  });
+  EXPECT_TRUE(client->deliveries().empty());
+
+  // Once the variable exists (and the CLEES cache window has passed),
+  // matching resumes.
+  sim.run_until(sec(1.5));
+  broker->set_variable("neverSetVariable", 1.0);
+  feed->publish("x = 1");
+  sim.run_until(sec(3));
+  EXPECT_EQ(client->deliveries().size(), 1u);
+}
+
+TEST_F(BrokerEdgeTest, VarUpdateForNewVariableCreatesIt) {
+  feed->send_var_update("fresh", 3.5);
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker->variables().get("fresh"), 3.5);
+}
+
+TEST_F(BrokerEdgeTest, StatsResetClearsCountersButKeepsState) {
+  client->subscribe("x > 0");
+  sim.run_until(sec(0.1));
+  feed->publish("x = 1");
+  sim.run_until(sec(0.2));
+  EXPECT_GT(broker->stats().received_total, 0u);
+  broker->reset_stats();
+  EXPECT_EQ(broker->stats().received_total, 0u);
+  EXPECT_EQ(broker->subscription_count(), 1u);  // routing state survives
+  feed->publish("x = 2");
+  sim.run_until(sec(1));
+  EXPECT_EQ(broker->stats().deliveries, 1u);
+}
+
+}  // namespace
+}  // namespace evps

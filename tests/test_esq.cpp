@@ -1,0 +1,111 @@
+#include "evolving/esq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+TEST(Esq, EmptyQueue) {
+  EvolvingSubscriptionQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.next_due().has_value());
+  std::vector<SubscriptionId> out;
+  q.pop_due(sec(100), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Esq, OrderedByDueTime) {
+  EvolvingSubscriptionQueue q;
+  q.push(SubscriptionId{1}, sec(3));
+  q.push(SubscriptionId{2}, sec(1));
+  q.push(SubscriptionId{3}, sec(2));
+  EXPECT_EQ(q.next_due(), sec(1));
+  std::vector<SubscriptionId> out;
+  q.pop_due(sec(10), out);
+  EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{2}, SubscriptionId{3},
+                                              SubscriptionId{1}}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Esq, PopOnlyDueEntries) {
+  EvolvingSubscriptionQueue q;
+  q.push(SubscriptionId{1}, sec(1));
+  q.push(SubscriptionId{2}, sec(5));
+  std::vector<SubscriptionId> out;
+  q.pop_due(sec(2), out);
+  EXPECT_EQ(out, std::vector<SubscriptionId>{SubscriptionId{1}});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_due(), sec(5));
+}
+
+TEST(Esq, DueBoundaryInclusive) {
+  EvolvingSubscriptionQueue q;
+  q.push(SubscriptionId{1}, sec(2));
+  std::vector<SubscriptionId> out;
+  q.pop_due(sec(2), out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Esq, RepushReschedules) {
+  EvolvingSubscriptionQueue q;
+  q.push(SubscriptionId{1}, sec(1));
+  q.push(SubscriptionId{1}, sec(10));  // supersedes the earlier entry
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_due(), sec(10));
+  std::vector<SubscriptionId> out;
+  q.pop_due(sec(5), out);
+  EXPECT_TRUE(out.empty());  // stale entry skipped
+  q.pop_due(sec(10), out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Esq, RemoveCancels) {
+  EvolvingSubscriptionQueue q;
+  q.push(SubscriptionId{1}, sec(1));
+  q.push(SubscriptionId{2}, sec(2));
+  EXPECT_TRUE(q.remove(SubscriptionId{1}));
+  EXPECT_FALSE(q.remove(SubscriptionId{1}));
+  EXPECT_FALSE(q.contains(SubscriptionId{1}));
+  EXPECT_TRUE(q.contains(SubscriptionId{2}));
+  EXPECT_EQ(q.next_due(), sec(2));
+  std::vector<SubscriptionId> out;
+  q.pop_due(sec(10), out);
+  EXPECT_EQ(out, std::vector<SubscriptionId>{SubscriptionId{2}});
+}
+
+TEST(Esq, SameDueTimeFifo) {
+  EvolvingSubscriptionQueue q;
+  q.push(SubscriptionId{5}, sec(1));
+  q.push(SubscriptionId{3}, sec(1));
+  q.push(SubscriptionId{9}, sec(1));
+  std::vector<SubscriptionId> out;
+  q.pop_due(sec(1), out);
+  EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{5}, SubscriptionId{3},
+                                              SubscriptionId{9}}));
+}
+
+TEST(Esq, ManyEntriesStress) {
+  EvolvingSubscriptionQueue q;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    q.push(SubscriptionId{i}, sec(static_cast<double>(i % 100)));
+  }
+  EXPECT_EQ(q.size(), 1000u);
+  // Reschedule everything, then remove half.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    q.push(SubscriptionId{i}, sec(static_cast<double>(1000 - i)));
+  }
+  for (std::uint64_t i = 0; i < 1000; i += 2) q.remove(SubscriptionId{i});
+  EXPECT_EQ(q.size(), 500u);
+  std::vector<SubscriptionId> out;
+  q.pop_due(sec(2000), out);
+  EXPECT_EQ(out.size(), 500u);
+  // Due order: id 999 (due 1), id 997 (due 3), ...
+  EXPECT_EQ(out.front(), SubscriptionId{999});
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,130 @@
+#include "expr/ast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace evps {
+namespace {
+
+TEST(Expr, ConstantEval) {
+  const MapEnv env;
+  EXPECT_DOUBLE_EQ(Expr::constant(3.5)->eval(env), 3.5);
+  EXPECT_TRUE(Expr::constant(1)->is_constant());
+}
+
+TEST(Expr, VariableEval) {
+  const MapEnv env{{"t", 4.0}};
+  EXPECT_DOUBLE_EQ(Expr::variable("t")->eval(env), 4.0);
+  EXPECT_FALSE(Expr::variable("t")->is_constant());
+}
+
+TEST(Expr, UnboundVariableThrows) {
+  const MapEnv env;
+  EXPECT_THROW((void)Expr::variable("ghost")->eval(env), UnboundVariableError);
+}
+
+TEST(Expr, EmptyVariableNameRejected) {
+  EXPECT_THROW(Expr::variable(""), std::invalid_argument);
+}
+
+TEST(Expr, BinaryArithmetic) {
+  const MapEnv env{{"t", 2.0}};
+  const auto t = Expr::variable("t");
+  EXPECT_DOUBLE_EQ(Expr::add(Expr::constant(1), t)->eval(env), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::sub(Expr::constant(1), t)->eval(env), -1.0);
+  EXPECT_DOUBLE_EQ(Expr::mul(Expr::constant(3), t)->eval(env), 6.0);
+  EXPECT_DOUBLE_EQ(Expr::div(Expr::constant(5), t)->eval(env), 2.5);
+  EXPECT_DOUBLE_EQ(Expr::binary(BinaryOp::kMod, Expr::constant(7), t)->eval(env), 1.0);
+  EXPECT_DOUBLE_EQ(Expr::binary(BinaryOp::kPow, t, Expr::constant(10))->eval(env), 1024.0);
+}
+
+TEST(Expr, DivisionByZeroGivesInfinity) {
+  const MapEnv env;
+  const double r = Expr::div(Expr::constant(1), Expr::constant(0))->eval(env);
+  EXPECT_TRUE(std::isinf(r));
+}
+
+TEST(Expr, UnaryFunctions) {
+  const MapEnv env{{"x", -2.25}};
+  const auto x = Expr::variable("x");
+  EXPECT_DOUBLE_EQ(Expr::unary(UnaryOp::kNeg, x)->eval(env), 2.25);
+  EXPECT_DOUBLE_EQ(Expr::unary(UnaryOp::kAbs, x)->eval(env), 2.25);
+  EXPECT_DOUBLE_EQ(Expr::unary(UnaryOp::kFloor, x)->eval(env), -3.0);
+  EXPECT_DOUBLE_EQ(Expr::unary(UnaryOp::kCeil, x)->eval(env), -2.0);
+  EXPECT_DOUBLE_EQ(Expr::unary(UnaryOp::kSign, x)->eval(env), -1.0);
+  EXPECT_DOUBLE_EQ(Expr::unary(UnaryOp::kSqrt, Expr::constant(9))->eval(env), 3.0);
+  EXPECT_NEAR(Expr::unary(UnaryOp::kSin, Expr::constant(0))->eval(env), 0.0, 1e-12);
+  EXPECT_NEAR(Expr::unary(UnaryOp::kCos, Expr::constant(0))->eval(env), 1.0, 1e-12);
+}
+
+TEST(Expr, Calls) {
+  const MapEnv env{{"a", 5.0}, {"b", -3.0}};
+  const auto a = Expr::variable("a");
+  const auto b = Expr::variable("b");
+  EXPECT_DOUBLE_EQ(Expr::call(CallFn::kMin, {a, b})->eval(env), -3.0);
+  EXPECT_DOUBLE_EQ(Expr::call(CallFn::kMax, {a, b})->eval(env), 5.0);
+  EXPECT_DOUBLE_EQ(
+      Expr::call(CallFn::kClamp, {a, Expr::constant(0), Expr::constant(2)})->eval(env), 2.0);
+  EXPECT_DOUBLE_EQ(Expr::call(CallFn::kStep, {b})->eval(env), 0.0);
+  EXPECT_DOUBLE_EQ(Expr::call(CallFn::kStep, {a})->eval(env), 1.0);
+}
+
+TEST(Expr, CallArityChecked) {
+  EXPECT_THROW(Expr::call(CallFn::kClamp, {Expr::constant(1)}), std::invalid_argument);
+  EXPECT_THROW(Expr::call(CallFn::kStep, {Expr::constant(1), Expr::constant(2)}),
+               std::invalid_argument);
+  EXPECT_THROW(Expr::call(CallFn::kMin, {}), std::invalid_argument);
+}
+
+TEST(Expr, NullOperandsRejected) {
+  EXPECT_THROW(Expr::unary(UnaryOp::kAbs, nullptr), std::invalid_argument);
+  EXPECT_THROW(Expr::binary(BinaryOp::kAdd, Expr::constant(1), nullptr), std::invalid_argument);
+}
+
+TEST(Expr, VariableCollection) {
+  const auto e = Expr::add(Expr::mul(Expr::variable("t"), Expr::constant(2)),
+                           Expr::call(CallFn::kMax, {Expr::variable("v"), Expr::variable("t")}));
+  const auto vars = e->variables();
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_TRUE(vars.contains("t"));
+  EXPECT_TRUE(vars.contains("v"));
+}
+
+TEST(Expr, ConstnessPropagates) {
+  EXPECT_TRUE(Expr::add(Expr::constant(1), Expr::constant(2))->is_constant());
+  EXPECT_FALSE(Expr::add(Expr::constant(1), Expr::variable("t"))->is_constant());
+  EXPECT_TRUE(Expr::call(CallFn::kMin, {Expr::constant(1), Expr::constant(2)})->is_constant());
+}
+
+TEST(Expr, StructuralEquality) {
+  const auto a = Expr::add(Expr::constant(1), Expr::variable("t"));
+  const auto b = Expr::add(Expr::constant(1), Expr::variable("t"));
+  const auto c = Expr::add(Expr::constant(2), Expr::variable("t"));
+  const auto d = Expr::sub(Expr::constant(1), Expr::variable("t"));
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+  EXPECT_FALSE(a->equals(*d));
+  EXPECT_FALSE(a->equals(*Expr::constant(1)));
+}
+
+TEST(Expr, ToStringForms) {
+  EXPECT_EQ(Expr::variable("t")->to_string(), "t");
+  EXPECT_EQ(Expr::add(Expr::constant(1), Expr::variable("t"))->to_string(), "(1 + t)");
+  EXPECT_EQ(Expr::unary(UnaryOp::kNeg, Expr::variable("x"))->to_string(), "(-x)");
+  EXPECT_EQ(Expr::call(CallFn::kMin, {Expr::variable("a"), Expr::variable("b")})->to_string(),
+            "min(a, b)");
+}
+
+TEST(MapEnv, SetAndHas) {
+  MapEnv env;
+  EXPECT_FALSE(env.has("x"));
+  env.set("x", 1.0);
+  EXPECT_TRUE(env.has("x"));
+  EXPECT_DOUBLE_EQ(env.lookup("x"), 1.0);
+  env.set("x", 2.0);  // overwrite
+  EXPECT_DOUBLE_EQ(env.lookup("x"), 2.0);
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,187 @@
+// MMOG workload: integration checks of the Section VI-C/VI-D experiment
+// harness (scaled down for test speed).
+#include <gtest/gtest.h>
+
+#include "workloads/game.hpp"
+
+namespace evps {
+namespace {
+
+GameConfig small_config(SystemKind system) {
+  GameConfig cfg;
+  cfg.system = system;
+  cfg.seed = 7;
+  cfg.characters = 40;
+  cfg.clients = 10;
+  cfg.pub_rate = 50.0;
+  cfg.duration = SimTime::from_seconds(25.0);
+  return cfg;
+}
+
+TEST(Game, SingleBrokerDeployment) {
+  GameExperiment exp(small_config(SystemKind::kClees));
+  exp.run();
+  EXPECT_EQ(exp.overlay().brokers().size(), 1u);
+  // event source + 10 players.
+  EXPECT_EQ(exp.overlay().clients().size(), 11u);
+  EXPECT_EQ(exp.server().subscription_count(), 40u);
+}
+
+TEST(Game, CharactersStayInsideWorld) {
+  GameExperiment exp(small_config(SystemKind::kLees));
+  exp.run();
+  for (std::size_t i = 0; i < exp.config().characters; ++i) {
+    const auto [x, y] = exp.character_position(i, exp.config().duration);
+    EXPECT_LE(std::abs(x), exp.config().world_half * 1.01) << i;
+    EXPECT_LE(std::abs(y), exp.config().world_half * 1.01) << i;
+  }
+}
+
+TEST(Game, DeliveriesHappenAndAreSampled) {
+  GameExperiment exp(small_config(SystemKind::kLees));
+  exp.run();
+  EXPECT_GT(exp.delivery_log().total(), 0u);
+  const auto& series = exp.deliveries_per_second();
+  ASSERT_EQ(series.size(), 25u);
+  std::uint64_t total = 0;
+  for (const auto s : series) total += s;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Game, DeterministicAcrossRuns) {
+  GameExperiment a(small_config(SystemKind::kClees));
+  GameExperiment b(small_config(SystemKind::kClees));
+  a.run();
+  b.run();
+  EXPECT_EQ(a.delivery_log().delivered, b.delivery_log().delivered);
+  EXPECT_EQ(a.subscription_msgs(), b.subscription_msgs());
+}
+
+TEST(Game, VesCostsAreMaintenanceDriven) {
+  GameExperiment exp(small_config(SystemKind::kVes));
+  exp.run();
+  const auto& costs = exp.engine_costs();
+  EXPECT_GT(costs.evolutions, 0u);
+  EXPECT_GT(costs.maintenance.sum(), 0.0);
+  EXPECT_EQ(costs.lazy_evaluations, 0u);
+}
+
+TEST(Game, LeesCostsArePublicationDriven) {
+  GameExperiment exp(small_config(SystemKind::kLees));
+  exp.run();
+  const auto& costs = exp.engine_costs();
+  EXPECT_EQ(costs.evolutions, 0u);
+  EXPECT_GT(costs.lazy_evaluations, 0u);
+}
+
+TEST(Game, CleesCacheAbsorbsEvaluations) {
+  GameExperiment exp(small_config(SystemKind::kClees));
+  exp.run();
+  const auto& costs = exp.engine_costs();
+  EXPECT_GT(costs.cache_hits, 0u);
+  EXPECT_GT(costs.cache_misses, 0u);
+  // With pub rate >> 1/TT most probes hit the cache.
+  EXPECT_GT(costs.cache_hits, costs.cache_misses);
+}
+
+TEST(Game, StaticFractionReducesLemeLoad) {
+  auto cfg = small_config(SystemKind::kLees);
+  cfg.evolving_fraction = 0.5;
+  GameExperiment exp(cfg);
+  exp.run();
+  GameExperiment full(small_config(SystemKind::kLees));
+  full.run();
+  // Half the characters never enter the LEME.
+  EXPECT_LT(exp.engine_costs().lazy_evaluations, full.engine_costs().lazy_evaluations);
+  EXPECT_EQ(exp.server().subscription_count(), 40u);  // all still subscribed
+}
+
+TEST(Game, BaselineSendsManyMoreSubscriptionMessages) {
+  GameExperiment evolving(small_config(SystemKind::kClees));
+  GameExperiment baseline(small_config(SystemKind::kResub));
+  evolving.run();
+  baseline.run();
+  // Paper Section VI-D: baseline clients send ~10x more subscription
+  // messages (1 s resubscription vs 10 s replacement).
+  EXPECT_GT(baseline.subscription_msgs(), evolving.subscription_msgs() * 5);
+}
+
+TEST(Game, VisibilityScheduleShape) {
+  auto cfg = small_config(SystemKind::kClees);
+  cfg.use_visibility = true;
+  cfg.duration = SimTime::from_seconds(100.0);
+  GameExperiment exp(cfg);
+  EXPECT_DOUBLE_EQ(exp.visibility_at(SimTime::zero()), 1.0);
+  EXPECT_DOUBLE_EQ(exp.visibility_at(SimTime::from_seconds(50)), 0.5);   // middle
+  EXPECT_NEAR(exp.visibility_at(SimTime::from_seconds(79.9)), 1.0, 0.02);  // recovered
+  EXPECT_DOUBLE_EQ(exp.visibility_at(SimTime::from_seconds(90)), 0.5);   // final drop
+  EXPECT_DOUBLE_EQ(exp.visibility_at(SimTime::from_seconds(100)), 0.5);
+}
+
+TEST(Game, VisibilityReducesMatchVolume) {
+  // Compare deliveries in the full-visibility phase start vs the 50% middle.
+  // Uniform background events and one character per client so that the
+  // match volume tracks the covered area (self-hotspot events and
+  // per-client dedup would otherwise mask the v^2 shrinkage).
+  auto cfg = small_config(SystemKind::kLees);
+  cfg.use_visibility = true;
+  cfg.characters = 60;
+  cfg.clients = 60;
+  cfg.hotspot_fraction = 0.0;
+  cfg.pub_rate = 400.0;
+  cfg.duration = SimTime::from_seconds(60.0);
+  GameExperiment exp(cfg);
+  exp.run();
+  const auto& series = exp.deliveries_per_second();
+  ASSERT_EQ(series.size(), 60u);
+  double early = 0, middle = 0;
+  for (int i = 1; i < 9; ++i) early += static_cast<double>(series[static_cast<std::size_t>(i)]);
+  for (int i = 27; i < 35; ++i) middle += static_cast<double>(series[static_cast<std::size_t>(i)]);
+  // Visibility ~1.0 early vs ~0.5-0.6 around the middle: area shrinks to
+  // ~25-35%, so match volume must drop markedly.
+  EXPECT_LT(middle, early * 0.7);
+  EXPECT_GT(early, 0.0);
+}
+
+TEST(Game, EvolvingTracksVisibilityBlackoutButBaselineDoesNot) {
+  auto make = [](SystemKind system) {
+    auto cfg = small_config(system);
+    cfg.use_visibility = true;
+    cfg.characters = 60;
+    cfg.clients = 60;
+    cfg.hotspot_fraction = 0.0;
+    cfg.pub_rate = 400.0;
+    cfg.duration = SimTime::from_seconds(80.0);
+    cfg.blackout_tail = Duration::seconds(30.0);
+    return cfg;
+  };
+  GameExperiment evolving(make(SystemKind::kLees));
+  GameExperiment baseline(make(SystemKind::kResub));
+  evolving.run();
+  baseline.run();
+
+  const auto tail_sum = [](const std::vector<std::uint64_t>& s, std::size_t from,
+                           std::size_t to) {
+    double total = 0;
+    for (std::size_t i = from; i < to && i < s.size(); ++i) {
+      total += static_cast<double>(s[i]);
+    }
+    return total;
+  };
+  // Final-drop window (last ~15 s, visibility 0.5, blackout active).
+  const double evolving_tail = tail_sum(evolving.deliveries_per_second(), 66, 80);
+  const double baseline_tail = tail_sum(baseline.deliveries_per_second(), 66, 80);
+  // Mid-recovery window (visibility near 1.0 for both).
+  const double evolving_peak = tail_sum(evolving.deliveries_per_second(), 40, 50);
+  const double baseline_peak = tail_sum(baseline.deliveries_per_second(), 40, 50);
+  ASSERT_GT(evolving_peak, 0.0);
+  ASSERT_GT(baseline_peak, 0.0);
+  // Evolving subscriptions shrink with the (server-side) visibility drop;
+  // the baseline keeps matching at its stale ~100% visibility area.
+  const double evolving_ratio = evolving_tail / evolving_peak;
+  const double baseline_ratio = baseline_tail / baseline_peak;
+  EXPECT_LT(evolving_ratio, baseline_ratio * 0.8);
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,177 @@
+// High-frequency trading workload: end-to-end integration checks of the
+// Section VI-B experiment harness (scaled down for test speed).
+#include <gtest/gtest.h>
+
+#include "workloads/hft.hpp"
+
+namespace evps {
+namespace {
+
+HftConfig small_config(SystemKind system) {
+  HftConfig cfg;
+  cfg.system = system;
+  cfg.seed = 42;
+  cfg.clients = 9;
+  cfg.stocks = 60;
+  cfg.stocks_per_client = 3;
+  cfg.pub_rate = 20.0;
+  cfg.change_rate_per_min = 30.0;
+  cfg.validity = Duration::seconds(10.0);
+  cfg.duration = SimTime::from_seconds(30.0);
+  cfg.traffic_interval = Duration::seconds(10.0);
+  return cfg;
+}
+
+TEST(Hft, TopologyHasThirteenBrokers) {
+  HftExperiment exp(small_config(SystemKind::kLees));
+  exp.run();
+  EXPECT_EQ(exp.overlay().brokers().size(), 13u);  // 1 central + 3x(1 core + 3 edges)
+  EXPECT_EQ(exp.overlay().clients().size(), 9u + 9u);
+}
+
+TEST(Hft, GroundTruthIsCentralized) {
+  HftExperiment exp(small_config(SystemKind::kGroundTruth));
+  exp.run();
+  EXPECT_EQ(exp.overlay().brokers().size(), 1u);
+}
+
+TEST(Hft, DeliveriesHappen) {
+  HftExperiment exp(small_config(SystemKind::kLees));
+  exp.run();
+  EXPECT_GT(exp.delivery_log().total(), 0u);
+}
+
+TEST(Hft, DeterministicAcrossRuns) {
+  HftExperiment a(small_config(SystemKind::kVes));
+  HftExperiment b(small_config(SystemKind::kVes));
+  a.run();
+  b.run();
+  const auto log_a = a.delivery_log();
+  const auto log_b = b.delivery_log();
+  EXPECT_EQ(log_a.total(), log_b.total());
+  EXPECT_EQ(log_a.delivered, log_b.delivered);
+  EXPECT_EQ(a.traffic().mean(), b.traffic().mean());
+}
+
+TEST(Hft, ModelPriceIsDeterministicAndSeedDependent) {
+  const auto cfg = small_config(SystemKind::kLees);
+  HftExperiment a(cfg);
+  HftExperiment b(cfg);
+  auto cfg2 = cfg;
+  cfg2.seed = 43;
+  HftExperiment c(cfg2);
+  const SimTime t = SimTime::from_seconds(17);
+  EXPECT_EQ(a.model_price(5, t), b.model_price(5, t));
+  EXPECT_NE(a.model_price(5, t), c.model_price(5, t));
+}
+
+TEST(Hft, TrafficOrderingAcrossSystems) {
+  double traffic[3] = {0, 0, 0};
+  const SystemKind systems[] = {SystemKind::kResub, SystemKind::kParametric, SystemKind::kLees};
+  for (int i = 0; i < 3; ++i) {
+    HftExperiment exp(small_config(systems[i]));
+    exp.run();
+    traffic[i] = exp.traffic().mean();
+  }
+  // The paper's headline: evolving << parametric < resubscription.
+  EXPECT_GT(traffic[0], traffic[1]);
+  EXPECT_GT(traffic[1], traffic[2] * 2);
+  // Parametric halves resubscription traffic (one update vs unsub+sub),
+  // modulo the constant initial-subscription component.
+  EXPECT_NEAR(traffic[1] / traffic[0], 0.5, 0.1);
+}
+
+TEST(Hft, EvolvingVariantsHaveSameTraffic) {
+  double traffic[3] = {0, 0, 0};
+  const SystemKind systems[] = {SystemKind::kVes, SystemKind::kLees, SystemKind::kClees};
+  for (int i = 0; i < 3; ++i) {
+    HftExperiment exp(small_config(systems[i]));
+    exp.run();
+    traffic[i] = exp.traffic().mean();
+  }
+  // "All three evolving solutions have almost the same performance with
+  // respect to this metric" (Section VI-B).
+  EXPECT_DOUBLE_EQ(traffic[0], traffic[1]);
+  EXPECT_DOUBLE_EQ(traffic[1], traffic[2]);
+}
+
+TEST(Hft, EvolvingTrafficUnaffectedByChangeRate) {
+  auto cfg_fast = small_config(SystemKind::kLees);
+  cfg_fast.change_rate_per_min = 60.0;
+  auto cfg_slow = small_config(SystemKind::kLees);
+  cfg_slow.change_rate_per_min = 6.0;
+  HftExperiment fast(cfg_fast);
+  HftExperiment slow(cfg_slow);
+  fast.run();
+  slow.run();
+  EXPECT_DOUBLE_EQ(fast.traffic().mean(), slow.traffic().mean());
+}
+
+TEST(Hft, ResubTrafficScalesWithChangeRate) {
+  auto cfg_fast = small_config(SystemKind::kResub);
+  cfg_fast.change_rate_per_min = 60.0;
+  auto cfg_slow = small_config(SystemKind::kResub);
+  cfg_slow.change_rate_per_min = 12.0;
+  HftExperiment fast(cfg_fast);
+  HftExperiment slow(cfg_slow);
+  fast.run();
+  slow.run();
+  EXPECT_GT(fast.traffic().mean(), slow.traffic().mean() * 3);
+}
+
+TEST(Hft, EvolvingTrafficScalesWithReplacementRate) {
+  auto cfg_short = small_config(SystemKind::kLees);
+  cfg_short.validity = Duration::seconds(5.0);  // 2x replacement rate of 10s
+  HftExperiment frequent(cfg_short);
+  HftExperiment normal(small_config(SystemKind::kLees));
+  frequent.run();
+  normal.run();
+  EXPECT_GT(frequent.traffic().mean(), normal.traffic().mean() * 1.5);
+}
+
+TEST(Hft, SnapshotConsistencyImprovesLeesAccuracy) {
+  // Section V-D extension exercised end-to-end: piggybacked variable
+  // snapshots anchor evaluation at the publication entry instant, so LEES
+  // accuracy must be at least as good as without snapshots.
+  HftExperiment truth_exp(small_config(SystemKind::kGroundTruth));
+  truth_exp.run();
+  const auto truth = truth_exp.delivery_log();
+
+  auto plain_cfg = small_config(SystemKind::kLees);
+  auto snap_cfg = small_config(SystemKind::kLees);
+  snap_cfg.snapshot_consistency = true;
+  HftExperiment plain(plain_cfg);
+  HftExperiment snap(snap_cfg);
+  plain.run();
+  snap.run();
+  const auto plain_acc = compare_logs(truth, plain.delivery_log());
+  const auto snap_acc = compare_logs(truth, snap.delivery_log());
+  EXPECT_LE(snap_acc.errors(), plain_acc.errors());
+  EXPECT_GT(snap.delivery_log().total(), 0u);
+}
+
+TEST(Hft, AccuracyOrderingMatchesPaper) {
+  // Ground truth first.
+  HftExperiment truth_exp(small_config(SystemKind::kGroundTruth));
+  truth_exp.run();
+  const auto truth = truth_exp.delivery_log();
+  ASSERT_GT(truth.total(), 0u);
+
+  std::map<SystemKind, AccuracyResult> results;
+  for (const SystemKind system : {SystemKind::kResub, SystemKind::kParametric, SystemKind::kVes,
+                                  SystemKind::kLees, SystemKind::kClees}) {
+    HftExperiment exp(small_config(system));
+    exp.run();
+    results[system] = compare_logs(truth, exp.delivery_log());
+  }
+  // LEES is the most accurate evolving engine (near-perfect).
+  EXPECT_LT(results[SystemKind::kLees].error_rate(), 0.02);
+  // Every evolving engine beats the resubscription baseline.
+  for (const SystemKind system : {SystemKind::kVes, SystemKind::kLees, SystemKind::kClees}) {
+    EXPECT_LE(results[system].error_rate(), results[SystemKind::kResub].error_rate())
+        << to_string(system);
+  }
+}
+
+}  // namespace
+}  // namespace evps

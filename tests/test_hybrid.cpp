@@ -1,0 +1,152 @@
+// Hybrid adaptive engine (the paper's Section IV-C future work): per-part
+// switching between timer-refreshed versions and lazy caching.
+#include <gtest/gtest.h>
+
+#include "evolving/hybrid_engine.hpp"
+#include "test_util.hpp"
+
+namespace evps {
+namespace {
+
+using testutil::SimHost;
+using testutil::make_sub;
+using testutil::match;
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+struct HybridTest : ::testing::Test {
+  Simulator sim;
+  SimHost host{sim};
+  EngineConfig cfg{.kind = EngineKind::kHybrid};
+  HybridEngine engine{cfg};
+};
+
+TEST_F(HybridTest, StartsInLazyMode) {
+  engine.add(make_sub(1, "x <= 2 * t"), NodeId{1}, host);
+  EXPECT_EQ(engine.storage_size(), 1u);
+  EXPECT_EQ(engine.lazy_count(), 1u);
+  EXPECT_EQ(engine.versioned_count(), 0u);
+}
+
+TEST_F(HybridTest, CorrectMatchingInLazyMode) {
+  engine.add(make_sub(1, "[tt=0.000001] x <= 2 * t"), NodeId{1}, host);
+  sim.run_until(sec(1));
+  EXPECT_EQ(match(engine, host, parse_publication("x = 2")).size(), 1u);
+  EXPECT_TRUE(match(engine, host, parse_publication("x = 3")).empty());
+}
+
+TEST_F(HybridTest, HighProbeRatePromotesToVersioned) {
+  engine.add(make_sub(1, "x <= 2 * t"), NodeId{1}, host);
+  // Probe well above once per MEI (1 s default): 10 probes per 100 ms.
+  sim.every(sec(0.1), Duration::millis(100), sec(3), [&](SimTime) {
+    (void)match(engine, host, parse_publication("x = 1000"));
+  });
+  sim.run_until(sec(2.5));
+  EXPECT_EQ(engine.versioned_count(), 1u);
+  EXPECT_EQ(engine.lazy_count(), 0u);
+  EXPECT_GT(engine.costs().evolutions, 0u);  // timer refreshes happening
+}
+
+TEST_F(HybridTest, QuietSubscriptionStaysOrReturnsLazy) {
+  engine.add(make_sub(1, "x <= 2 * t"), NodeId{1}, host);
+  sim.run_until(sec(5));  // several windows with zero probes
+  EXPECT_EQ(engine.lazy_count(), 1u);
+
+  // Promote with a burst, then go quiet: it must demote again.
+  sim.every(sim.now() + Duration::millis(100), Duration::millis(100), sec(8), [&](SimTime) {
+    (void)match(engine, host, parse_publication("x = 1000"));
+  });
+  sim.run_until(sec(8.5));
+  EXPECT_EQ(engine.versioned_count(), 1u);
+  sim.run_until(sec(12));  // quiet again
+  EXPECT_EQ(engine.lazy_count(), 1u);
+}
+
+TEST_F(HybridTest, VersionedModeMatchesWithMeiGranularity) {
+  engine.add(make_sub(1, "x <= 2 * t"), NodeId{1}, host);
+  // Promote to versioned with frequent probes.
+  sim.every(sec(0.05), Duration::millis(50), sec(10), [&](SimTime) {
+    (void)match(engine, host, parse_publication("x = 1e9"));
+  });
+  sim.run_until(sec(4.2));
+  ASSERT_EQ(engine.versioned_count(), 1u);
+  // Version refreshed at the last tick (t=4): bound ~8.
+  EXPECT_EQ(match(engine, host, parse_publication("x = 7.9")).size(), 1u);
+  EXPECT_TRUE(match(engine, host, parse_publication("x = 8.5")).empty());
+}
+
+TEST_F(HybridTest, MixedPopulationSplitsModes) {
+  engine.add(make_sub(1, "hot <= 2 * t"), NodeId{1}, host);
+  engine.add(make_sub(2, "cold <= 2 * t"), NodeId{2}, host);
+  // Only the "hot" attribute is probed frequently; the cold subscription has
+  // a different destination but is probed by the same publications... use an
+  // attribute the cold sub does not carry so it is probed but never matched:
+  // both parts are probed (no static gate), so drive separate publications.
+  sim.every(sec(0.1), Duration::millis(100), sec(3), [&](SimTime) {
+    // Publication carries only `hot`: the cold part is probed but its
+    // predicate attribute is missing -> still counts as a probe.
+    (void)match(engine, host, parse_publication("hot = 1e9"));
+  });
+  sim.run_until(sec(2.5));
+  // Both destinations see the probe traffic (evaluation is per destination),
+  // so both become versioned — this documents that probe accounting is per
+  // structural visit, not per match.
+  EXPECT_EQ(engine.versioned_count(), 2u);
+}
+
+TEST_F(HybridTest, StaticSubscriptionsUnaffected) {
+  engine.add(make_sub(1, "x > 0"), NodeId{1}, host);
+  EXPECT_EQ(engine.storage_size(), 0u);
+  EXPECT_EQ(match(engine, host, parse_publication("x = 1")).size(), 1u);
+  sim.run_until(sec(3));
+  EXPECT_EQ(engine.costs().evolutions, 0u);  // no timer work for static subs
+}
+
+TEST_F(HybridTest, SplitSubscriptionGatedByStaticPart) {
+  engine.add(make_sub(1, "symbol = 'IBM'; price <= 10 + t"), NodeId{1}, host);
+  EXPECT_TRUE(match(engine, host, parse_publication("symbol = 'MSFT'; price = 1")).empty());
+  EXPECT_EQ(match(engine, host, parse_publication("symbol = 'IBM'; price = 1")).size(), 1u);
+}
+
+TEST_F(HybridTest, RemoveStopsTimerWorkWhenEmpty) {
+  engine.add(make_sub(1, "x <= 2 * t"), NodeId{1}, host);
+  sim.run_until(sec(2));
+  EXPECT_TRUE(engine.remove(SubscriptionId{1}, host));
+  sim.run_until(sec(4));
+  // The tick chain goes quiescent once no evolving parts remain: the
+  // simulator queue must eventually drain.
+  sim.run_all(1000);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST_F(HybridTest, EarlyExitPerDestination) {
+  engine.add(make_sub(1, "[tt=1] x >= t"), NodeId{7}, host);
+  engine.add(make_sub(2, "[tt=1] x >= t"), NodeId{7}, host);
+  const auto dests = match(engine, host, parse_publication("x = 5"));
+  EXPECT_EQ(dests, std::vector<NodeId>{NodeId{7}});
+  EXPECT_EQ(engine.costs().cache_misses, 1u);
+}
+
+TEST_F(HybridTest, SnapshotBypassesVersions) {
+  host.set_variable("v", 0.1);
+  engine.add(make_sub(1, "x <= 10 * v"), NodeId{1}, host);
+  EXPECT_TRUE(match(engine, host, parse_publication("x = 5")).empty());
+  Publication pub = parse_publication("x = 5");
+  pub.set_entry_time(sim.now());
+  const VariableSnapshot snapshot{{"v", 1.0}};
+  EXPECT_EQ(match(engine, host, pub, &snapshot).size(), 1u);
+}
+
+TEST_F(HybridTest, AgreesWithExactOracleInLazyMode) {
+  // With tiny TT and no promotion (single probes spaced > MEI apart), the
+  // hybrid engine is exact like LEES.
+  engine.add(make_sub(1, "[tt=0.000001] x >= -3 + t; x <= 3 + t"), NodeId{1}, host);
+  for (double t = 0; t <= 8; t += 2.0) {
+    sim.run_until(sec(t));
+    const bool expected = (4.0 >= -3 + t) && (4.0 <= 3 + t);
+    EXPECT_EQ(!match(engine, host, parse_publication("x = 4")).empty(), expected) << t;
+  }
+}
+
+}  // namespace
+}  // namespace evps

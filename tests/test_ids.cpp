@@ -1,0 +1,66 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace evps {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  const BrokerId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(StrongId, ExplicitValueIsValid) {
+  const BrokerId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(SubscriptionId{1}, SubscriptionId{2});
+  EXPECT_EQ(SubscriptionId{5}, SubscriptionId{5});
+  EXPECT_NE(SubscriptionId{5}, SubscriptionId{6});
+}
+
+TEST(StrongId, StreamAndStr) {
+  std::ostringstream os;
+  os << ClientId{3};
+  EXPECT_EQ(os.str(), "C3");
+  EXPECT_EQ(SubscriptionId{9}.str(), "S9");
+  EXPECT_EQ(BrokerId{1}.str(), "B1");
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  set.insert(NodeId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IdGenerator, MonotonicAndDistinct) {
+  IdGenerator<MessageId> gen;
+  std::set<MessageId> seen;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(seen.insert(gen.next()).second);
+  EXPECT_EQ(seen.begin()->value(), 0u);
+}
+
+TEST(IdGenerator, StartsAtGivenValue) {
+  IdGenerator<MessageId> gen{10};
+  EXPECT_EQ(gen.next().value(), 10u);
+  EXPECT_EQ(gen.next().value(), 11u);
+}
+
+TEST(IdGenerator, Reset) {
+  IdGenerator<MessageId> gen;
+  (void)gen.next();
+  gen.reset(5);
+  EXPECT_EQ(gen.next().value(), 5u);
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,139 @@
+// Lazy Evaluation Evolving Subscriptions behaviour (Sections IV-B, V-B).
+#include <gtest/gtest.h>
+
+#include "evolving/lees_engine.hpp"
+#include "test_util.hpp"
+
+namespace evps {
+namespace {
+
+using testutil::SimHost;
+using testutil::make_sub;
+using testutil::match;
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+struct LeesTest : ::testing::Test {
+  Simulator sim;
+  SimHost host{sim};
+  EngineConfig cfg{.kind = EngineKind::kLees};
+  LeesEngine engine{cfg};
+};
+
+TEST_F(LeesTest, ExactEvaluationAtPublicationTime) {
+  engine.add(make_sub(1, "x >= -3 + t; x <= 3 + t"), NodeId{1}, host);
+  // Paper example: x=4 does not match at t=0, matches at t=1.
+  EXPECT_TRUE(match(engine, host, parse_publication("x = 4")).empty());
+  sim.run_until(sec(1));
+  EXPECT_EQ(match(engine, host, parse_publication("x = 4")).size(), 1u);
+  sim.run_until(sec(7.001));  // window is now [4.001, 10.001]
+  EXPECT_TRUE(match(engine, host, parse_publication("x = 4")).empty());
+  EXPECT_EQ(match(engine, host, parse_publication("x = 10")).size(), 1u);
+}
+
+TEST_F(LeesTest, NoEvolutionTimersNeeded) {
+  engine.add(make_sub(1, "x >= t"), NodeId{1}, host);
+  EXPECT_TRUE(sim.empty());  // lazy engines schedule nothing
+}
+
+TEST_F(LeesTest, SplitSubscriptionRequiresBothParts) {
+  engine.add(make_sub(1, "symbol = 'IBM'; price <= 10 + t"), NodeId{1}, host);
+  EXPECT_EQ(engine.leme_size(), 1u);
+  // Static part fails -> no match even though the evolving part matches.
+  EXPECT_TRUE(match(engine, host, parse_publication("symbol = 'MSFT'; price = 5")).empty());
+  // Evolving part fails -> no match.
+  EXPECT_TRUE(match(engine, host, parse_publication("symbol = 'IBM'; price = 15")).empty());
+  EXPECT_EQ(match(engine, host, parse_publication("symbol = 'IBM'; price = 5")).size(), 1u);
+}
+
+TEST_F(LeesTest, StaticOnlySubscriptionDecidedByMatcher) {
+  engine.add(make_sub(1, "x > 0"), NodeId{1}, host);
+  EXPECT_EQ(engine.leme_size(), 0u);
+  EXPECT_EQ(match(engine, host, parse_publication("x = 1")).size(), 1u);
+}
+
+TEST_F(LeesTest, MissingAttributeFailsEvolvingPart) {
+  engine.add(make_sub(1, "x >= t; y >= t"), NodeId{1}, host);
+  EXPECT_TRUE(match(engine, host, parse_publication("x = 100")).empty());
+  EXPECT_EQ(match(engine, host, parse_publication("x = 100; y = 100")).size(), 1u);
+}
+
+TEST_F(LeesTest, EarlyExitPerDestination) {
+  // Two fully-evolving subscriptions for the same destination: once the
+  // first matches, the second must not be evaluated.
+  engine.add(make_sub(1, "x >= t"), NodeId{7}, host);
+  engine.add(make_sub(2, "x >= t - 1"), NodeId{7}, host);
+  const auto dests = match(engine, host, parse_publication("x = 5"));
+  EXPECT_EQ(dests, std::vector<NodeId>{NodeId{7}});
+  EXPECT_EQ(engine.costs().lazy_evaluations, 1u);
+}
+
+TEST_F(LeesTest, NoEarlyExitAcrossDestinations) {
+  engine.add(make_sub(1, "x >= t"), NodeId{7}, host);
+  engine.add(make_sub(2, "x >= t"), NodeId{8}, host);
+  const auto dests = match(engine, host, parse_publication("x = 5"));
+  EXPECT_EQ(dests, (std::vector<NodeId>{NodeId{7}, NodeId{8}}));
+  EXPECT_EQ(engine.costs().lazy_evaluations, 2u);
+}
+
+TEST_F(LeesTest, NonMatchingSubsAllEvaluated) {
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    engine.add(make_sub(i, "x <= -1 - t"), NodeId{i}, host);  // never matches x=5
+  }
+  EXPECT_TRUE(match(engine, host, parse_publication("x = 5")).empty());
+  EXPECT_EQ(engine.costs().lazy_evaluations, 10u);  // exhaustive scan
+}
+
+TEST_F(LeesTest, StaticShortcutSkipsEvolvingEvaluation) {
+  engine.add(make_sub(1, "symbol = 'IBM'; price <= 10 + t"), NodeId{1}, host);
+  (void)match(engine, host, parse_publication("symbol = 'MSFT'; price = 5"));
+  // The evolving part must not have been evaluated (M1 miss short-circuits).
+  EXPECT_EQ(engine.costs().lazy_evaluations, 0u);
+}
+
+TEST_F(LeesTest, DestinationSettledByStaticSubSkipsLazyWork) {
+  engine.add(make_sub(1, "x > 0"), NodeId{7}, host);          // static
+  engine.add(make_sub(2, "x >= t"), NodeId{7}, host);         // evolving, same dest
+  const auto dests = match(engine, host, parse_publication("x = 5"));
+  EXPECT_EQ(dests, std::vector<NodeId>{NodeId{7}});
+  EXPECT_EQ(engine.costs().lazy_evaluations, 0u);
+}
+
+TEST_F(LeesTest, RemoveEvolvingSubscription) {
+  engine.add(make_sub(1, "x >= t"), NodeId{1}, host);
+  engine.add(make_sub(2, "symbol = 'A'; x >= t"), NodeId{2}, host);
+  EXPECT_EQ(engine.leme_size(), 2u);
+  EXPECT_TRUE(engine.remove(SubscriptionId{1}, host));
+  EXPECT_TRUE(engine.remove(SubscriptionId{2}, host));
+  EXPECT_EQ(engine.leme_size(), 0u);
+  EXPECT_TRUE(match(engine, host, parse_publication("symbol = 'A'; x = 100")).empty());
+}
+
+TEST_F(LeesTest, DiscreteVariableReadAtPublicationTime) {
+  host.set_variable("v", 1.0);
+  engine.add(make_sub(1, "x <= 10 * v"), NodeId{1}, host);
+  EXPECT_EQ(match(engine, host, parse_publication("x = 5")).size(), 1u);
+  host.set_variable("v", 0.1);
+  // No MEI lag: the very next publication sees the new value.
+  EXPECT_TRUE(match(engine, host, parse_publication("x = 5")).empty());
+}
+
+TEST_F(LeesTest, SnapshotOverridesLocalState) {
+  host.set_variable("v", 0.1);
+  engine.add(make_sub(1, "x <= 10 * v"), NodeId{1}, host);
+  Publication pub = parse_publication("x = 5");
+  pub.set_entry_time(sim.now());
+  EXPECT_TRUE(match(engine, host, pub).empty());  // local v = 0.1 -> x <= 1
+  const VariableSnapshot snapshot{{"v", 1.0}};
+  EXPECT_EQ(match(engine, host, pub, &snapshot).size(), 1u);  // snapshot v = 1
+}
+
+TEST_F(LeesTest, LazyCostChargedPerPublication) {
+  engine.add(make_sub(1, "x >= t"), NodeId{1}, host);
+  for (int i = 0; i < 5; ++i) (void)match(engine, host, parse_publication("x = 100"));
+  EXPECT_EQ(engine.costs().lazy_eval.count(), 5u);
+  EXPECT_EQ(engine.costs().lazy_evaluations, 5u);
+}
+
+}  // namespace
+}  // namespace evps

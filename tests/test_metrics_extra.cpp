@@ -1,0 +1,154 @@
+// Delivery latency metric and the broker load-monitor variable
+// (Section III-C overload self-protection).
+#include <gtest/gtest.h>
+
+#include "broker/overlay.hpp"
+#include "message/codec.hpp"
+#include "metrics/latency.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+TEST(Latency, SingleHopLatencyIsSubscriberLink) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  Broker& broker = overlay.add_broker("b", cfg);
+  auto& sub = overlay.add_client("sub");
+  auto& feed = overlay.add_client("feed");
+  sub.connect(broker, Duration::millis(7));
+  feed.connect(broker, Duration::millis(2));
+  sub.subscribe("x >= 0");
+  sim.run_until(sec(0.1));
+  feed.publish("x = 1");
+  feed.publish("x = 2");
+  sim.run_until(sec(1));
+
+  const Summary latency = collect_delivery_latency(overlay);
+  ASSERT_EQ(latency.count(), 2u);
+  // Entry time is stamped at the broker; only the subscriber link remains.
+  EXPECT_NEAR(latency.mean(), 0.007, 1e-9);
+  EXPECT_NEAR(latency.min(), 0.007, 1e-9);
+  EXPECT_NEAR(latency.max(), 0.007, 1e-9);
+}
+
+TEST(Latency, MultiHopAccumulates) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  auto brokers = overlay.build_line(3, cfg, Duration::millis(10));
+  auto& sub = overlay.add_client("sub");
+  auto& feed = overlay.add_client("feed");
+  sub.connect(*brokers[0], Duration::millis(1));
+  feed.connect(*brokers[2], Duration::millis(1));
+  sub.subscribe("x >= 0");
+  sim.run_until(sec(0.5));
+  feed.publish("x = 1");
+  sim.run_until(sec(1));
+
+  const Summary latency = collect_delivery_latency(overlay);
+  ASSERT_EQ(latency.count(), 1u);
+  // Two inter-broker hops (10 ms each) plus the subscriber link (1 ms).
+  EXPECT_NEAR(latency.mean(), 0.021, 1e-9);
+}
+
+TEST(Latency, PerClientBreakdown) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  Broker& broker = overlay.add_broker("b", cfg);
+  auto& near = overlay.add_client("near");
+  auto& far = overlay.add_client("far");
+  auto& feed = overlay.add_client("feed");
+  near.connect(broker, Duration::millis(1));
+  far.connect(broker, Duration::millis(20));
+  feed.connect(broker, Duration::zero());
+  near.subscribe("x >= 0");
+  far.subscribe("x >= 0");
+  sim.run_until(sec(0.5));
+  feed.publish("x = 1");
+  sim.run_until(sec(1));
+
+  const auto per_client = collect_delivery_latency_per_client(overlay);
+  ASSERT_EQ(per_client.size(), 2u);
+  EXPECT_NEAR(per_client.at(near.id()).mean(), 0.001, 1e-9);
+  EXPECT_NEAR(per_client.at(far.id()).mean(), 0.020, 1e-9);
+  EXPECT_FALSE(per_client.contains(feed.id()));
+}
+
+TEST(Latency, EmptyOverlay) {
+  Simulator sim;
+  Overlay overlay{sim};
+  EXPECT_EQ(collect_delivery_latency(overlay).count(), 0u);
+  EXPECT_TRUE(collect_delivery_latency_per_client(overlay).empty());
+}
+
+struct LoadMonitorTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  Broker* broker = nullptr;
+  PubSubClient* sub = nullptr;
+  PubSubClient* feed = nullptr;
+
+  void SetUp() override {
+    cfg.engine.kind = EngineKind::kLees;
+    broker = &overlay.add_broker("b", cfg);
+    sub = &overlay.add_client("sub");
+    feed = &overlay.add_client("feed");
+    sub->connect(*broker, Duration::millis(1));
+    feed->connect(*broker, Duration::millis(1));
+  }
+};
+
+TEST_F(LoadMonitorTest, TracksOutgoingRate) {
+  broker->enable_load_monitor("outRate", Duration::seconds(1.0), sec(10));
+  sub->subscribe("x >= 0");
+  // 50 matching pubs/s for 3 seconds.
+  sim.every(sec(0.5), Duration::millis(20), sec(3.5), [&](SimTime) { feed->publish("x = 1"); });
+  sim.run_until(sec(2.5));
+  const auto mid = broker->variables().get("outRate");
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_NEAR(*mid, 50.0, 10.0);
+  sim.run_until(sec(6));
+  EXPECT_NEAR(*broker->variables().get("outRate"), 0.0, 1.0);  // quiet again
+}
+
+TEST_F(LoadMonitorTest, SelfThrottlingSubscription) {
+  // Section III-C: match everything up to maxDist when idle, nothing at
+  // full load: distance < maxDist * (1 - outRate / maxRate).
+  broker->enable_load_monitor("outRate", Duration::seconds(1.0), sec(30));
+  sub->subscribe("distance < 100 * (1 - outRate / 100)");
+  sim.run_until(sec(0.1));
+
+  // Idle: outRate = 0 -> threshold 100.
+  feed->publish("distance = 50");
+  sim.run_until(sec(0.9));
+  EXPECT_EQ(sub->deliveries().size(), 1u);
+
+  // Saturate: ~200 deliveries/s pushes outRate beyond 100 -> threshold < 0,
+  // so the subscription throttles itself during the flood windows.
+  sim.every(sec(1), Duration::millis(5), sec(4), [&](SimTime) {
+    feed->publish("distance = 1");
+  });
+  sim.run_until(sec(5));  // flood over, trailing deliveries settled
+  const std::size_t during_load = sub->deliveries().size();
+  // The flood produced ~600 publications; self-throttling must have dropped
+  // a large share of them (every window after the monitor saw the spike).
+  EXPECT_LT(during_load, 450u);
+  EXPECT_GT(during_load, 50u);
+
+  // Load has decayed: the probe publication is delivered again.
+  sim.run_until(sec(5.2));
+  feed->publish("distance = 50");
+  sim.run_until(sec(6));
+  EXPECT_EQ(sub->deliveries().size(), during_load + 1);
+}
+
+}  // namespace
+}  // namespace evps

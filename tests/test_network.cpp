@@ -1,0 +1,126 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+/// Records everything it receives.
+class RecorderNode final : public NetworkNode {
+ public:
+  void on_message(const Envelope& env) override { received.push_back(env); }
+  std::vector<Envelope> received;
+};
+
+struct NetworkTest : ::testing::Test {
+  Simulator sim;
+  Network net{sim};
+  RecorderNode a, b, c;
+
+  void SetUp() override {
+    net.attach(a);
+    net.attach(b);
+    net.attach(c);
+  }
+};
+
+TEST_F(NetworkTest, AttachAssignsSequentialIds) {
+  EXPECT_EQ(a.node_id(), NodeId{0});
+  EXPECT_EQ(b.node_id(), NodeId{1});
+  EXPECT_EQ(c.node_id(), NodeId{2});
+  EXPECT_EQ(net.node_count(), 3u);
+}
+
+TEST_F(NetworkTest, ConnectAndQuery) {
+  net.connect(a.node_id(), b.node_id(), Duration::millis(5));
+  EXPECT_TRUE(net.connected(a.node_id(), b.node_id()));
+  EXPECT_TRUE(net.connected(b.node_id(), a.node_id()));  // symmetric
+  EXPECT_FALSE(net.connected(a.node_id(), c.node_id()));
+  EXPECT_EQ(net.latency(a.node_id(), b.node_id()), Duration::millis(5));
+  EXPECT_THROW((void)net.latency(a.node_id(), c.node_id()), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, ConnectValidation) {
+  EXPECT_THROW(net.connect(a.node_id(), a.node_id(), Duration::zero()), std::invalid_argument);
+  EXPECT_THROW(net.connect(a.node_id(), NodeId{99}, Duration::zero()), std::invalid_argument);
+  EXPECT_THROW(net.connect(a.node_id(), b.node_id(), Duration::micros(-1)),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkTest, ReconnectUpdatesLatencyWithoutDuplicatingNeighbors) {
+  net.connect(a.node_id(), b.node_id(), Duration::millis(5));
+  net.connect(a.node_id(), b.node_id(), Duration::millis(9));
+  EXPECT_EQ(net.latency(a.node_id(), b.node_id()), Duration::millis(9));
+  EXPECT_EQ(net.neighbors(a.node_id()).size(), 1u);
+}
+
+TEST_F(NetworkTest, Neighbors) {
+  net.connect(a.node_id(), b.node_id(), Duration::zero());
+  net.connect(a.node_id(), c.node_id(), Duration::zero());
+  const auto n = net.neighbors(a.node_id());
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_EQ(net.neighbors(b.node_id()).size(), 1u);
+}
+
+TEST_F(NetworkTest, DeliveryAfterLatency) {
+  net.connect(a.node_id(), b.node_id(), Duration::millis(5));
+  net.send(a.node_id(), b.node_id(), VarUpdateMsg{"v", 1.0});
+  EXPECT_TRUE(b.received.empty());
+  sim.run_until(sec(0.004));
+  EXPECT_TRUE(b.received.empty());
+  sim.run_until(sec(0.006));
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].from, a.node_id());
+  EXPECT_EQ(b.received[0].to, b.node_id());
+  EXPECT_TRUE(std::holds_alternative<VarUpdateMsg>(b.received[0].msg));
+}
+
+TEST_F(NetworkTest, SendBetweenUnlinkedNodesThrows) {
+  EXPECT_THROW(net.send(a.node_id(), c.node_id(), VarUpdateMsg{"v", 1.0}),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkTest, FifoPerLink) {
+  net.connect(a.node_id(), b.node_id(), Duration::millis(5));
+  for (int i = 0; i < 10; ++i) {
+    net.send(a.node_id(), b.node_id(), VarUpdateMsg{"seq", static_cast<double>(i)});
+  }
+  sim.run_all();
+  ASSERT_EQ(b.received.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(std::get<VarUpdateMsg>(b.received[static_cast<std::size_t>(i)].msg).value,
+              static_cast<double>(i));
+  }
+}
+
+TEST_F(NetworkTest, MessageIdsUniqueAndCounted) {
+  net.connect(a.node_id(), b.node_id(), Duration::zero());
+  const auto m1 = net.send(a.node_id(), b.node_id(), VarUpdateMsg{"v", 1.0});
+  const auto m2 = net.send(a.node_id(), b.node_id(), VarUpdateMsg{"v", 2.0});
+  EXPECT_NE(m1, m2);
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+TEST_F(NetworkTest, TapObservesDeliveries) {
+  net.connect(a.node_id(), b.node_id(), Duration::millis(3));
+  std::vector<std::pair<NodeId, SimTime>> taps;
+  net.add_tap([&](const Envelope& env, SimTime at) { taps.emplace_back(env.to, at); });
+  net.send(a.node_id(), b.node_id(), VarUpdateMsg{"v", 1.0});
+  sim.run_all();
+  ASSERT_EQ(taps.size(), 1u);
+  EXPECT_EQ(taps[0].first, b.node_id());
+  EXPECT_EQ(taps[0].second, sec(0.003));
+}
+
+TEST_F(NetworkTest, ZeroLatencyDeliversInSameInstant) {
+  net.connect(a.node_id(), b.node_id(), Duration::zero());
+  net.send(a.node_id(), b.node_id(), VarUpdateMsg{"v", 1.0});
+  sim.run_all();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace evps

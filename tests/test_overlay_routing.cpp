@@ -1,0 +1,202 @@
+// Multi-broker overlay routing: subscription flooding, publication
+// forwarding along reverse paths, unsubscription propagation,
+// advertisement-based routing, variable propagation.
+#include <gtest/gtest.h>
+
+#include "broker/overlay.hpp"
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+BrokerConfig make_config(EngineKind kind, RoutingMode routing) {
+  BrokerConfig cfg;
+  cfg.engine.kind = kind;
+  cfg.routing = routing;
+  return cfg;
+}
+
+struct LineOverlayTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+  std::vector<Broker*> brokers;
+  PubSubClient* subscriber = nullptr;
+  PubSubClient* publisher = nullptr;
+
+  void build(RoutingMode routing, EngineKind kind = EngineKind::kLees) {
+    brokers = overlay.build_line(3, make_config(kind, routing), Duration::millis(5));
+    subscriber = &overlay.add_client("sub");
+    publisher = &overlay.add_client("pub");
+    subscriber->connect(*brokers[0], Duration::millis(1));
+    publisher->connect(*brokers[2], Duration::millis(1));
+  }
+};
+
+TEST_F(LineOverlayTest, SubscriptionFloodsAllBrokers) {
+  build(RoutingMode::kFlooding);
+  subscriber->subscribe("x >= 0");
+  sim.run_until(sec(1));
+  for (auto* b : brokers) EXPECT_EQ(b->subscription_count(), 1u) << b->name();
+  // Each broker received exactly one subscribe message.
+  EXPECT_EQ(overlay.total_subscription_msgs(), 3u);
+}
+
+TEST_F(LineOverlayTest, PublicationRoutedAcrossOverlay) {
+  build(RoutingMode::kFlooding);
+  subscriber->subscribe("x >= 0; x <= 10");
+  sim.run_until(sec(1));
+  publisher->publish("x = 5");
+  publisher->publish("x = 11");
+  sim.run_until(sec(2));
+  ASSERT_EQ(subscriber->deliveries().size(), 1u);
+  EXPECT_EQ(subscriber->deliveries()[0].pub.get("x")->as_int(), 5);
+  // Publication hop latency: 1ms + 5ms + 5ms + 1ms.
+  EXPECT_EQ(subscriber->deliveries()[0].when, sec(1) + Duration::millis(12));
+}
+
+TEST_F(LineOverlayTest, NonMatchingPublicationNotForwardedToSubscriberEdge) {
+  build(RoutingMode::kFlooding);
+  subscriber->subscribe("x >= 0; x <= 10");
+  sim.run_until(sec(1));
+  brokers[0]->reset_stats();
+  publisher->publish("x = 999");
+  sim.run_until(sec(2));
+  // The entry broker drops it: no matching subscription path.
+  EXPECT_EQ(brokers[0]->stats().publications, 0u);
+}
+
+TEST_F(LineOverlayTest, UnsubscribePropagates) {
+  build(RoutingMode::kFlooding);
+  const auto id = subscriber->subscribe("x >= 0");
+  sim.run_until(sec(1));
+  subscriber->unsubscribe(id);
+  sim.run_until(sec(2));
+  for (auto* b : brokers) EXPECT_EQ(b->subscription_count(), 0u) << b->name();
+  publisher->publish("x = 1");
+  sim.run_until(sec(3));
+  EXPECT_TRUE(subscriber->deliveries().empty());
+}
+
+TEST_F(LineOverlayTest, EvolvingSubscriptionEvaluatedPerBroker) {
+  build(RoutingMode::kFlooding);
+  subscriber->subscribe("x >= -3 + t; x <= 3 + t");
+  sim.run_until(sec(2));
+  publisher->publish("x = 4");  // at t~2, window [-1, 5]
+  sim.run_until(sec(3));
+  EXPECT_EQ(subscriber->deliveries().size(), 1u);
+}
+
+TEST_F(LineOverlayTest, VesEvolutionHappensOnEveryBroker) {
+  build(RoutingMode::kFlooding, EngineKind::kVes);
+  subscriber->subscribe("[mei=0.5] x <= 2 * t");
+  sim.run_until(sec(3));
+  for (auto* b : brokers) {
+    EXPECT_GE(b->engine().costs().evolutions, 4u) << b->name();
+  }
+  publisher->publish("x = 4");  // bound ~6 at t=3
+  sim.run_until(sec(4));
+  EXPECT_EQ(subscriber->deliveries().size(), 1u);
+}
+
+TEST_F(LineOverlayTest, VariableUpdateFloodsBrokers) {
+  build(RoutingMode::kFlooding);
+  brokers[2]->set_variable("v", 0.25);
+  sim.run_until(sec(1));
+  for (auto* b : brokers) EXPECT_EQ(b->variables().get("v"), 0.25) << b->name();
+}
+
+TEST_F(LineOverlayTest, ParametricUpdatePropagatesAlongSubscriptionPath) {
+  build(RoutingMode::kFlooding, EngineKind::kParametric);
+  const auto id = subscriber->subscribe("price >= 10; price <= 12");
+  sim.run_until(sec(1));
+  subscriber->update_subscription(id, {Value{20.0}, Value{22.0}});
+  sim.run_until(sec(2));
+  publisher->publish("price = 21");
+  publisher->publish("price = 11");
+  sim.run_until(sec(3));
+  ASSERT_EQ(subscriber->deliveries().size(), 1u);
+  EXPECT_DOUBLE_EQ(*subscriber->deliveries()[0].pub.get("price")->numeric(), 21.0);
+  // Every broker saw 1 subscribe + 1 update.
+  EXPECT_EQ(overlay.total_subscription_msgs(), 6u);
+}
+
+struct AdvertisementRoutingTest : ::testing::Test {
+  // Star: core with three edges. Publisher on edge0 advertises; subscribers
+  // sit on edge1/edge2.
+  Simulator sim;
+  Overlay overlay{sim};
+  std::vector<Broker*> brokers;
+  PubSubClient* publisher = nullptr;
+  PubSubClient* matching_sub = nullptr;
+  PubSubClient* disjoint_sub = nullptr;
+
+  void SetUp() override {
+    brokers = overlay.build_star(3, make_config(EngineKind::kLees, RoutingMode::kAdvertisement),
+                                 Duration::millis(5));
+    publisher = &overlay.add_client("pub");
+    matching_sub = &overlay.add_client("match");
+    disjoint_sub = &overlay.add_client("disjoint");
+    publisher->connect(*brokers[1], Duration::millis(1));
+    matching_sub->connect(*brokers[2], Duration::millis(1));
+    disjoint_sub->connect(*brokers[3], Duration::millis(1));
+  }
+};
+
+TEST_F(AdvertisementRoutingTest, SubscriptionOnlyForwardedTowardsIntersectingAdverts) {
+  publisher->advertise({parse_predicate("price >= 0"), parse_predicate("price <= 100")});
+  sim.run_until(sec(1));
+  matching_sub->subscribe("price >= 50; price <= 60");
+  disjoint_sub->subscribe("price >= 500; price <= 600");
+  sim.run_until(sec(2));
+  // The matching subscription reaches the publisher's edge broker; the
+  // disjoint one stays on its own edge.
+  EXPECT_EQ(brokers[1]->subscription_count(), 1u);
+  EXPECT_EQ(brokers[2]->subscription_count(), 1u);  // matching sub local
+  EXPECT_EQ(brokers[3]->subscription_count(), 1u);  // disjoint sub local only
+  EXPECT_EQ(brokers[0]->subscription_count(), 1u);  // core holds the matching one
+
+  publisher->publish("price = 55");
+  sim.run_until(sec(3));
+  EXPECT_EQ(matching_sub->deliveries().size(), 1u);
+  EXPECT_TRUE(disjoint_sub->deliveries().empty());
+}
+
+TEST_F(AdvertisementRoutingTest, AdvertisementArrivingAfterSubscriptionTriggersCatchUp) {
+  matching_sub->subscribe("price >= 50; price <= 60");
+  sim.run_until(sec(1));
+  // No adverts yet: the subscription stays local.
+  EXPECT_EQ(brokers[1]->subscription_count(), 0u);
+  publisher->advertise({parse_predicate("price >= 0"), parse_predicate("price <= 100")});
+  sim.run_until(sec(2));
+  // Catch-up forwarding pushed the subscription towards the new advert.
+  EXPECT_EQ(brokers[1]->subscription_count(), 1u);
+  publisher->publish("price = 55");
+  sim.run_until(sec(3));
+  EXPECT_EQ(matching_sub->deliveries().size(), 1u);
+}
+
+TEST_F(AdvertisementRoutingTest, UnadvertiseRemovesState) {
+  const auto adv = publisher->advertise({parse_predicate("price >= 0")});
+  sim.run_until(sec(1));
+  publisher->unadvertise(adv);
+  sim.run_until(sec(2));
+  // New subscriptions no longer forwarded anywhere.
+  matching_sub->subscribe("price >= 1; price <= 2");
+  sim.run_until(sec(3));
+  EXPECT_EQ(brokers[1]->subscription_count(), 0u);
+  EXPECT_EQ(brokers[0]->subscription_count(), 0u);
+}
+
+TEST_F(AdvertisementRoutingTest, EvolvingSubscriptionsAlwaysForwardedConservatively) {
+  publisher->advertise({parse_predicate("price >= 0"), parse_predicate("price <= 100")});
+  sim.run_until(sec(1));
+  // Evolving predicate currently outside the advertised range: still routed.
+  matching_sub->subscribe("price >= 500 + t; price <= 510 + t");
+  sim.run_until(sec(2));
+  EXPECT_EQ(brokers[1]->subscription_count(), 1u);
+}
+
+}  // namespace
+}  // namespace evps

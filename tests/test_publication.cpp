@@ -1,0 +1,78 @@
+#include "message/publication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evps {
+namespace {
+
+TEST(Publication, EmptyByDefault) {
+  const Publication pub;
+  EXPECT_TRUE(pub.empty());
+  EXPECT_EQ(pub.size(), 0u);
+  EXPECT_EQ(pub.get("x"), nullptr);
+}
+
+TEST(Publication, SetAndGet) {
+  Publication pub;
+  pub.set("x", 4).set("y", 3.5).set("action", "pickup");
+  EXPECT_EQ(pub.size(), 3u);
+  ASSERT_NE(pub.get("x"), nullptr);
+  EXPECT_EQ(pub.get("x")->as_int(), 4);
+  EXPECT_DOUBLE_EQ(pub.get("y")->as_double(), 3.5);
+  EXPECT_EQ(pub.get("action")->as_string(), "pickup");
+  EXPECT_TRUE(pub.has("y"));
+  EXPECT_FALSE(pub.has("z"));
+}
+
+TEST(Publication, SetOverwrites) {
+  Publication pub;
+  pub.set("x", 1);
+  pub.set("x", 2);
+  EXPECT_EQ(pub.size(), 1u);
+  EXPECT_EQ(pub.get("x")->as_int(), 2);
+}
+
+TEST(Publication, AttributesSortedCanonically) {
+  Publication pub;
+  pub.set("zebra", 1).set("apple", 2).set("mango", 3);
+  const auto& attrs = pub.attributes();
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0].first, "apple");
+  EXPECT_EQ(attrs[1].first, "mango");
+  EXPECT_EQ(attrs[2].first, "zebra");
+}
+
+TEST(Publication, InitializerList) {
+  const Publication pub{{"x", Value{4}}, {"y", Value{3}}};
+  EXPECT_EQ(pub.size(), 2u);
+  EXPECT_EQ(pub.get("x")->as_int(), 4);
+}
+
+TEST(Publication, EqualityIgnoresMetadata) {
+  Publication a{{"x", Value{1}}};
+  Publication b{{"x", Value{1}}};
+  b.set_id(MessageId{99});
+  b.set_publisher(ClientId{5});
+  b.set_entry_time(SimTime::from_seconds(3));
+  EXPECT_EQ(a, b);
+  const Publication other{{"x", Value{2}}};
+  EXPECT_FALSE(a == other);
+}
+
+TEST(Publication, Metadata) {
+  Publication pub;
+  pub.set_id(MessageId{7});
+  pub.set_publisher(ClientId{3});
+  pub.set_entry_time(SimTime::from_seconds(1.5));
+  EXPECT_EQ(pub.id(), MessageId{7});
+  EXPECT_EQ(pub.publisher(), ClientId{3});
+  EXPECT_EQ(pub.entry_time(), SimTime::from_seconds(1.5));
+}
+
+TEST(Publication, ToString) {
+  Publication pub{{"x", Value{4}}, {"action", Value{"pickup"}}};
+  EXPECT_EQ(pub.to_string(), "{action = 'pickup'; x = 4}");
+}
+
+}  // namespace
+}  // namespace evps

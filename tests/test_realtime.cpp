@@ -1,0 +1,133 @@
+// Real-time (wall-clock, threaded) host: the paper's actual implementation
+// architecture (Section V-A). Timing assertions use generous tolerances.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "evolving/lees_engine.hpp"
+#include "evolving/ves_engine.hpp"
+#include "realtime/realtime_host.hpp"
+#include "test_util.hpp"
+
+namespace evps {
+namespace {
+
+using testutil::make_sub;
+
+TEST(RealTimeHost, NowAdvances) {
+  RealTimeHost host;
+  const SimTime a = host.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const SimTime b = host.now();
+  EXPECT_GT(b, a);
+  EXPECT_GE((b - a).count_micros(), 15'000);
+}
+
+TEST(RealTimeHost, PostRunsOnWorkerThread) {
+  RealTimeHost host;
+  std::atomic<bool> ran{false};
+  std::thread::id worker_id;
+  host.invoke([&] {
+    ran = true;
+    worker_id = std::this_thread::get_id();
+  });
+  EXPECT_TRUE(ran.load());
+  EXPECT_NE(worker_id, std::this_thread::get_id());
+}
+
+TEST(RealTimeHost, InvokeFromWorkerThreadDoesNotDeadlock) {
+  RealTimeHost host;
+  std::atomic<bool> inner{false};
+  host.invoke([&] { host.invoke([&] { inner = true; }); });
+  EXPECT_TRUE(inner.load());
+}
+
+TEST(RealTimeHost, InvokePropagatesExceptions) {
+  RealTimeHost host;
+  EXPECT_THROW(host.invoke([] { throw std::runtime_error("boom"); }), std::runtime_error);
+}
+
+TEST(RealTimeHost, ScheduledTasksFireInOrder) {
+  RealTimeHost host;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  host.invoke([&] {
+    host.schedule(Duration::millis(30), [&] {
+      order.push_back(2);
+      ++done;
+    });
+    host.schedule(Duration::millis(5), [&] {
+      order.push_back(1);
+      ++done;
+    });
+  });
+  for (int i = 0; i < 200 && done.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(done.load(), 2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(RealTimeHost, StopIsIdempotent) {
+  RealTimeHost host;
+  host.stop();
+  host.stop();
+}
+
+TEST(RealTimeHost, SetVariableVisibleToEngineOps) {
+  RealTimeHost host;
+  host.set_variable("v", 0.5);
+  double seen = 0;
+  host.invoke([&] { seen = host.variables().get("v").value_or(-1); });
+  EXPECT_DOUBLE_EQ(seen, 0.5);
+}
+
+TEST(RealTimeVes, VersionsEvolveWithWallClock) {
+  RealTimeHost host;
+  EngineConfig cfg{.kind = EngineKind::kVes};
+  VesEngine engine{cfg};
+
+  // x <= 1000 * t with MEI 20 ms: after ~100 ms the version admits x=10.
+  host.invoke([&] {
+    engine.add(make_sub(1, "[mei=0.02] x <= 1000 * t", host.now()), NodeId{1}, host);
+  });
+  auto matches = [&] {
+    bool hit = false;
+    host.invoke([&] {
+      std::vector<NodeId> dests;
+      engine.match(parse_publication("x = 10"), nullptr, host, dests);
+      hit = !dests.empty();
+    });
+    return hit;
+  };
+  EXPECT_FALSE(matches());  // t ~ 0: version is x <= ~0
+  bool hit = false;
+  for (int i = 0; i < 100 && !hit; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    hit = matches();
+  }
+  EXPECT_TRUE(hit);
+  std::uint64_t evolutions = 0;
+  host.invoke([&] { evolutions = engine.costs().evolutions; });
+  EXPECT_GE(evolutions, 1u);
+}
+
+TEST(RealTimeLees, LazyEvaluationUsesWallClock) {
+  RealTimeHost host;
+  EngineConfig cfg{.kind = EngineKind::kLees};
+  LeesEngine engine{cfg};
+  host.invoke([&] { engine.add(make_sub(1, "x <= 1000 * t", host.now()), NodeId{1}, host); });
+  bool hit = false;
+  for (int i = 0; i < 100 && !hit; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    host.invoke([&] {
+      std::vector<NodeId> dests;
+      engine.match(parse_publication("x = 10"), nullptr, host, dests);
+      hit = !dests.empty();
+    });
+  }
+  EXPECT_TRUE(hit);  // within ~1 s, 1000*t exceeds 10
+}
+
+}  // namespace
+}  // namespace evps

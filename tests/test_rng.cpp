@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace evps {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{7};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 5.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.2);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{99};
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < 6000; ++i) {
+    const auto x = rng.uniform_int(1, 6);
+    ASSERT_GE(x, 1);
+    ASSERT_LE(x, 6);
+    ++counts[x];
+  }
+  EXPECT_EQ(counts.size(), 6u);  // all faces hit
+  for (const auto& [face, count] : counts) EXPECT_GT(count, 700) << face;
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(-10, -1);
+    EXPECT_GE(x, -10);
+    EXPECT_LE(x, -1);
+  }
+}
+
+TEST(Rng, Bernoulli) {
+  Rng rng{11};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a{42};
+  Rng b{42};
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa(), fb());
+}
+
+TEST(Rng, ForkSaltsDiffer) {
+  Rng a{42};
+  Rng parent_copy{42};
+  Rng f1 = a.fork(1);
+  Rng f2 = parent_copy.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1() == f2()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Splitmix, DeterministicAndProgressing) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  std::uint64_t s3 = 0;
+  const auto first = splitmix64(s3);
+  const auto second = splitmix64(s3);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace evps

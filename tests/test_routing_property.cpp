@@ -1,0 +1,166 @@
+// Routing-mode equivalence property: advertisement-based routing is an
+// optimisation over flooding — on the same randomized workload both modes
+// must produce exactly the same delivery log (the conservative
+// advertisement intersection guarantees no false negatives), while the
+// advertisement mode must not generate *more* subscription traffic.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "metrics/accuracy.hpp"
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+struct WorkloadResult {
+  DeliveryLog log;
+  std::uint64_t sub_msgs = 0;
+  std::uint64_t pubs_forwarded = 0;
+};
+
+/// Star of 1 core + 4 edges; 4 publishers advertise disjoint-ish price
+/// slices; 8 subscribers issue random static and evolving band
+/// subscriptions, some replaced mid-run; publishers emit random quotes.
+WorkloadResult run(RoutingMode routing, EngineKind engine, std::uint64_t seed) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = engine;
+  cfg.routing = routing;
+  auto brokers = overlay.build_star(4, cfg, Duration::millis(5));
+
+  Rng rng{seed};
+  std::vector<PubSubClient*> publishers;
+  for (int p = 0; p < 4; ++p) {
+    auto& client = overlay.add_client("pub" + std::to_string(p));
+    client.connect(*brokers[static_cast<std::size_t>(1 + p)], Duration::millis(1));
+    publishers.push_back(&client);
+    // Advertise a 40-wide slice [25p, 25p + 40] (overlapping neighbours).
+    client.advertise({Predicate{"price", RelOp::kGe, Value{25.0 * p}},
+                      Predicate{"price", RelOp::kLe, Value{25.0 * p + 40.0}}});
+  }
+  std::vector<PubSubClient*> subscribers;
+  for (int s = 0; s < 8; ++s) {
+    auto& client = overlay.add_client("sub" + std::to_string(s));
+    client.connect(*brokers[static_cast<std::size_t>(1 + s % 4)], Duration::millis(1));
+    subscribers.push_back(&client);
+  }
+
+  // Random subscriptions: static bands, evolving (drifting) bands, and a
+  // few mid-run replacements.
+  for (auto* client : subscribers) {
+    const int n_subs = static_cast<int>(rng.uniform_int(1, 3));
+    for (int k = 0; k < n_subs; ++k) {
+      const double lo = rng.uniform(0.0, 110.0);
+      const double width = rng.uniform(2.0, 15.0);
+      const bool evolving = rng.bernoulli(0.5);
+      const double at = rng.uniform(0.0, 2.0);
+      Subscription sub;
+      if (evolving) {
+        const double drift = rng.uniform(-3.0, 3.0);
+        sub.add(Predicate{"price", RelOp::kGe,
+                          Expr::add(Expr::constant(lo),
+                                    Expr::mul(Expr::constant(drift), Expr::variable("t")))});
+        sub.add(Predicate{"price", RelOp::kLe,
+                          Expr::add(Expr::constant(lo + width),
+                                    Expr::mul(Expr::constant(drift), Expr::variable("t")))});
+      } else {
+        sub.add(Predicate{"price", RelOp::kGe, Value{lo}});
+        sub.add(Predicate{"price", RelOp::kLe, Value{lo + width}});
+      }
+      sim.at(sec(at), [client, sub = std::move(sub), &sim, &rng]() mutable {
+        const auto id = client->subscribe(std::move(sub));
+        (void)id;
+        (void)sim;
+        (void)rng;
+      });
+    }
+  }
+
+  // Quotes: every 20 ms each publisher emits a price within (and sometimes
+  // outside) its advertised slice.
+  for (std::size_t p = 0; p < publishers.size(); ++p) {
+    auto pub_rng = std::make_shared<Rng>(rng.fork(100 + p));
+    sim.every(sec(0.1) + Duration::millis(static_cast<std::int64_t>(p)), Duration::millis(20),
+              sec(8), [client = publishers[p], pub_rng, p](SimTime) {
+                Publication quote;
+                // Stay inside the advertised space: publications outside a
+                // publisher's advertisement are undefined under
+                // advertisement routing (PADRES semantics).
+                quote.set("price", pub_rng->uniform(25.0 * static_cast<double>(p),
+                                                    25.0 * static_cast<double>(p) + 40.0));
+                quote.set("seq", pub_rng->uniform_int(0, 1 << 20));
+                client->publish(std::move(quote));
+              });
+  }
+
+  sim.run_until(sec(9));
+  WorkloadResult result;
+  result.log = collect_delivery_log(overlay);
+  for (const auto& b : overlay.brokers()) {
+    result.sub_msgs += b->stats().subscription_msgs;
+    result.pubs_forwarded += b->stats().pubs_forwarded;
+  }
+  return result;
+}
+
+class RoutingEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingEquivalence, AdvertisementModeDeliversExactlyLikeFloodingWithLees) {
+  // LEES evaluates exactly at each broker, so its decisions are a pure
+  // function of (subscription present, time): both routing modes must
+  // produce the identical delivery log.
+  const std::uint64_t seed = GetParam();
+  const WorkloadResult flooding = run(RoutingMode::kFlooding, EngineKind::kLees, seed);
+  const WorkloadResult advertisement =
+      run(RoutingMode::kAdvertisement, EngineKind::kLees, seed);
+
+  ASSERT_GT(flooding.log.total(), 0u);
+  EXPECT_EQ(advertisement.log.delivered, flooding.log.delivered);
+  // The optimisation may only reduce control traffic, never add to it.
+  EXPECT_LE(advertisement.sub_msgs, flooding.sub_msgs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingEquivalence, ::testing::Values(1, 2, 3, 7, 11));
+
+class RoutingNearEquivalence
+    : public ::testing::TestWithParam<std::pair<EngineKind, std::uint64_t>> {};
+
+TEST_P(RoutingNearEquivalence, StatefulEnginesStayWithinTolerance) {
+  // VES versions and CLEES caches are refreshed relative to install/probe
+  // times, which legitimately shift by a few milliseconds between routing
+  // modes; the delivery logs must still agree on all but boundary cases.
+  const auto [engine, seed] = GetParam();
+  const WorkloadResult flooding = run(RoutingMode::kFlooding, engine, seed);
+  const WorkloadResult advertisement = run(RoutingMode::kAdvertisement, engine, seed);
+  ASSERT_GT(flooding.log.total(), 0u);
+  const AccuracyResult diff = compare_logs(flooding.log, advertisement.log);
+  EXPECT_LT(diff.error_rate(), 0.02)
+      << "flooding " << flooding.log.total() << " vs advertisement "
+      << advertisement.log.total();
+  EXPECT_LE(advertisement.sub_msgs, flooding.sub_msgs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndSeeds, RoutingNearEquivalence,
+    ::testing::Values(std::make_pair(EngineKind::kClees, std::uint64_t{3}),
+                      std::make_pair(EngineKind::kClees, std::uint64_t{4}),
+                      std::make_pair(EngineKind::kVes, std::uint64_t{5}),
+                      std::make_pair(EngineKind::kVes, std::uint64_t{6})),
+    [](const auto& info) {
+      return std::string(to_string(info.param.first)) + "_seed" +
+             std::to_string(info.param.second);
+    });
+
+TEST(RoutingEquivalence, AdvertisementModeSavesSubscriptionTraffic) {
+  // With clearly disjoint interests the advertisement mode must forward
+  // strictly fewer subscription messages.
+  const WorkloadResult flooding = run(RoutingMode::kFlooding, EngineKind::kLees, 42);
+  const WorkloadResult advertisement = run(RoutingMode::kAdvertisement, EngineKind::kLees, 42);
+  EXPECT_LT(advertisement.sub_msgs, flooding.sub_msgs);
+}
+
+}  // namespace
+}  // namespace evps

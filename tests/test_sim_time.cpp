@@ -1,0 +1,63 @@
+#include "common/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evps {
+namespace {
+
+TEST(SimTime, Construction) {
+  EXPECT_EQ(SimTime::from_micros(1500).micros(), 1500);
+  EXPECT_EQ(SimTime::from_millis(2).micros(), 2000);
+  EXPECT_EQ(SimTime::from_seconds(1.5).micros(), 1'500'000);
+  EXPECT_EQ(SimTime::zero().micros(), 0);
+}
+
+TEST(SimTime, Conversions) {
+  const SimTime t = SimTime::from_micros(2'500'000);
+  EXPECT_EQ(t.millis(), 2500);
+  EXPECT_DOUBLE_EQ(t.seconds(), 2.5);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::from_seconds(1), SimTime::from_seconds(2));
+  EXPECT_EQ(SimTime::from_millis(1000), SimTime::from_seconds(1.0));
+  EXPECT_LT(SimTime::zero(), SimTime::max());
+}
+
+TEST(Duration, Construction) {
+  EXPECT_EQ(Duration::micros(5).count_micros(), 5);
+  EXPECT_EQ(Duration::millis(5).count_micros(), 5000);
+  EXPECT_EQ(Duration::seconds(0.5).count_micros(), 500'000);
+  EXPECT_EQ(Duration::minutes(2).count_micros(), 120'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(2);
+  const Duration b = Duration::seconds(0.5);
+  EXPECT_EQ((a + b).count_seconds(), 2.5);
+  EXPECT_EQ((a - b).count_seconds(), 1.5);
+  EXPECT_EQ((a * 3).count_seconds(), 6.0);
+  EXPECT_EQ((3 * b).count_seconds(), 1.5);
+  EXPECT_EQ((a / 4).count_seconds(), 0.5);
+}
+
+TEST(Duration, NegativeAllowed) {
+  const Duration d = Duration::seconds(1) - Duration::seconds(3);
+  EXPECT_EQ(d.count_seconds(), -2.0);
+  EXPECT_LT(d, Duration::zero());
+}
+
+TEST(SimTimeDuration, Mixed) {
+  const SimTime t = SimTime::from_seconds(10);
+  EXPECT_EQ((t + Duration::seconds(5)).seconds(), 15.0);
+  EXPECT_EQ((t - Duration::seconds(4)).seconds(), 6.0);
+  EXPECT_EQ((t - SimTime::from_seconds(4)).count_seconds(), 6.0);
+  SimTime u = t;
+  u += Duration::seconds(1);
+  EXPECT_EQ(u.seconds(), 11.0);
+  u -= Duration::seconds(2);
+  EXPECT_EQ(u.seconds(), 9.0);
+}
+
+}  // namespace
+}  // namespace evps

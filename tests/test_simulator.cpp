@@ -1,0 +1,127 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(sec(3), [&] { order.push_back(3); });
+  sim.at(sec(1), [&] { order.push_back(1); });
+  sim.at(sec(2), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), sec(3));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(sec(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  sim.at(sec(5), [&] {
+    sim.after(Duration::seconds(2), [&] { fired = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, sec(7));
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.at(sec(5), [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.at(sec(4), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.at(sec(6), Simulator::Action{}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(sec(10)), 0u);
+  EXPECT_EQ(sim.now(), sec(10));
+}
+
+TEST(Simulator, RunUntilExecutesOnlyDueEvents) {
+  Simulator sim;
+  int count = 0;
+  sim.at(sec(1), [&] { ++count; });
+  sim.at(sec(2), [&] { ++count; });
+  sim.at(sec(5), [&] { ++count; });
+  EXPECT_EQ(sim.run_until(sec(3)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), sec(3));
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.at(sec(1), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EveryFiresPeriodically) {
+  Simulator sim;
+  std::vector<double> fires;
+  sim.every(sec(1), Duration::seconds(2), sec(10), [&](SimTime t) {
+    fires.push_back(t.seconds());
+  });
+  sim.run_all();
+  EXPECT_EQ(fires, (std::vector<double>{1, 3, 5, 7, 9}));
+}
+
+TEST(Simulator, EveryUntilIsExclusive) {
+  Simulator sim;
+  int count = 0;
+  sim.every(sec(2), Duration::seconds(2), sec(6), [&](SimTime) { ++count; });
+  sim.run_all();
+  EXPECT_EQ(count, 2);  // fires at 2 and 4; 6 excluded
+}
+
+TEST(Simulator, EveryRejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(sim.every(sec(0), Duration::zero(), sec(10), [](SimTime) {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, ReentrantSchedulingDuringEvent) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 5) sim.after(Duration::seconds(1), next);
+  };
+  sim.at(sec(0), next);
+  sim.run_all();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.now(), sec(4));
+}
+
+TEST(Simulator, RunAllBackstop) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.after(Duration::seconds(1), forever); };
+  sim.at(sec(0), forever);
+  EXPECT_EQ(sim.run_all(100), 100u);
+  EXPECT_FALSE(sim.empty());
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,111 @@
+// Snapshot-consistency extension (Section V-D): piggybacking the entry
+// broker's variable values onto publications makes LEES/CLEES evaluate as if
+// centralised, eliminating staleness across a laggy overlay.
+#include <gtest/gtest.h>
+
+#include "broker/overlay.hpp"
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+struct SnapshotTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+
+  /// Two brokers with a slow link; the variable update reaches the far
+  /// broker late, so evaluations there are stale unless snapshots are used.
+  std::pair<PubSubClient*, PubSubClient*> build(EngineKind kind, bool snapshots) {
+    BrokerConfig cfg;
+    cfg.engine.kind = kind;
+    cfg.snapshot_consistency = snapshots;
+    Broker& entry = overlay.add_broker("entry", cfg);
+    Broker& far = overlay.add_broker("far", cfg);
+    overlay.connect(entry, far, Duration::millis(500));  // slow inter-broker link
+    auto& feed = overlay.add_client("feed");
+    auto& sub = overlay.add_client("sub");
+    feed.connect(entry, Duration::zero());
+    sub.connect(far, Duration::zero());
+    return {&feed, &sub};
+  }
+};
+
+TEST_F(SnapshotTest, VariableUpdateAndPublicationShareLinkFifo) {
+  auto [feed, sub] = build(EngineKind::kLees, /*snapshots=*/false);
+  sub->subscribe("x <= 10 * v");
+  overlay.brokers()[0]->set_variable("v", 0.1);
+  sim.run_until(sec(2));  // both brokers have v = 0.1
+
+  // Raise v at the entry broker and publish right after: the update message
+  // precedes the publication on the same link (FIFO), so the far broker has
+  // already applied v = 1.0 when the publication arrives.
+  overlay.brokers()[0]->set_variable("v", 1.0);
+  feed->publish("x = 5");  // entry: 5 <= 10 -> match, forwards
+  sim.run_until(sec(4));
+  EXPECT_EQ(sub->deliveries().size(), 1u);
+}
+
+TEST_F(SnapshotTest, SnapshotsRestoreEntryTimeSemantics) {
+  auto [feed, sub] = build(EngineKind::kLees, /*snapshots=*/true);
+  sub->subscribe("x <= 10 * v");
+  overlay.brokers()[0]->set_variable("v", 1.0);
+  sim.run_until(sec(2));
+
+  // Local-only change at the far broker (divergent state): without
+  // snapshots the far broker would evaluate x<=1 and drop the publication.
+  overlay.brokers()[1]->set_variable_local("v", 0.1);
+  feed->publish("x = 5");
+  sim.run_until(sec(4));
+  // With snapshots the entry broker's v=1.0 rides along: delivered.
+  ASSERT_EQ(sub->deliveries().size(), 1u);
+}
+
+TEST_F(SnapshotTest, WithoutSnapshotsDivergentStateDrops) {
+  auto [feed, sub] = build(EngineKind::kLees, /*snapshots=*/false);
+  sub->subscribe("x <= 10 * v");
+  overlay.brokers()[0]->set_variable("v", 1.0);
+  sim.run_until(sec(2));
+  overlay.brokers()[1]->set_variable_local("v", 0.1);
+  feed->publish("x = 5");
+  sim.run_until(sec(4));
+  EXPECT_TRUE(sub->deliveries().empty());  // far broker's stale local value wins
+}
+
+TEST_F(SnapshotTest, SnapshotsWorkWithClees) {
+  auto [feed, sub] = build(EngineKind::kClees, /*snapshots=*/true);
+  sub->subscribe("[tt=100] x <= 10 * v");
+  overlay.brokers()[0]->set_variable("v", 1.0);
+  sim.run_until(sec(2));
+  overlay.brokers()[1]->set_variable_local("v", 0.1);
+  feed->publish("x = 5");
+  sim.run_until(sec(4));
+  ASSERT_EQ(sub->deliveries().size(), 1u);  // snapshot bypasses the cache
+}
+
+TEST_F(SnapshotTest, ElapsedTimeAnchoredAtEntry) {
+  auto [feed, sub] = build(EngineKind::kLees, /*snapshots=*/true);
+  // Window [t-0.1, t+0.1] around elapsed time: tight enough that the 500 ms
+  // link delay alone would miss without snapshot anchoring.
+  sub->subscribe("x >= t - 0.1; x <= t + 0.1");
+  sim.run_until(sec(2));
+  feed->publish("x = 2.0");  // entry time ~2.0 (zero-latency client link)
+  sim.run_until(sec(4));
+  // With snapshots, the far broker evaluates at the entry time (t=2.0), so
+  // x=2.0 falls inside [1.9, 2.1] even though it arrives at t=2.5.
+  ASSERT_EQ(sub->deliveries().size(), 1u);
+}
+
+TEST_F(SnapshotTest, WithoutSnapshotsElapsedTimeDriftsAcrossHops) {
+  auto [feed, sub] = build(EngineKind::kLees, /*snapshots=*/false);
+  sub->subscribe("x >= t - 0.1; x <= t + 0.1");
+  sim.run_until(sec(2));
+  feed->publish("x = 2.0");
+  sim.run_until(sec(4));
+  // The far broker evaluates at arrival (t=2.5): x=2.0 outside [2.4, 2.6].
+  EXPECT_TRUE(sub->deliveries().empty());
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,231 @@
+// End-to-end randomized soak: a mixed overlay runs minutes of virtual time
+// with churning static/evolving subscriptions, variable updates, client
+// shutdowns and a continuous publication stream, while global invariants
+// are checked:
+//   * determinism (two runs produce identical logs)
+//   * LEES deliveries match an offline exact-oracle recomputation
+//   * routing state drains when everything unsubscribes
+//   * broker stats are internally consistent
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "metrics/accuracy.hpp"
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+struct SoakResult {
+  DeliveryLog log;
+  std::uint64_t total_received = 0;
+  std::uint64_t total_sub_msgs = 0;
+  std::size_t residual_subs = 0;  // subscriptions still installed at the end
+};
+
+struct SoakRecord {
+  // Everything needed to recompute expected deliveries offline.
+  struct SubEvent {
+    SimTime at;  // microsecond-truncated install instant (== epoch)
+    ClientId client;
+    SubscriptionId id;
+    double lo, width, drift;  // price in [lo + drift*t_rel, lo+width + drift*t_rel]
+    bool evolving;
+    SimTime unsubscribed_at = SimTime::max();
+  };
+  struct PubEvent {
+    SimTime at;  // entry time (client link is zero-latency)
+    MessageId id;
+    double price;
+  };
+  std::vector<SubEvent> subs;
+  std::vector<PubEvent> pubs;
+};
+
+SoakResult run_soak(std::uint64_t seed, EngineKind engine, SoakRecord* record) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = engine;
+  auto brokers = overlay.build_line(3, cfg, Duration::zero());
+
+  constexpr int kClients = 6;
+  std::vector<PubSubClient*> clients;
+  for (int c = 0; c < kClients; ++c) {
+    auto& client = overlay.add_client("c" + std::to_string(c));
+    client.connect(*brokers[static_cast<std::size_t>(c % 3)], Duration::zero());
+    clients.push_back(&client);
+  }
+  auto& feed = overlay.add_client("feed");
+  feed.connect(*brokers[1], Duration::zero());
+
+  Rng rng{seed};
+  const double kEnd = 60.0;
+
+  // Subscription churn: install at random times, some unsubscribe later.
+  std::map<SubscriptionId, std::size_t> record_index;
+  for (int i = 0; i < 40; ++i) {
+    const double at = rng.uniform(0.0, kEnd * 0.8);
+    const auto client_idx = static_cast<std::size_t>(rng.uniform_int(0, kClients - 1));
+    const double lo = rng.uniform(0.0, 90.0);
+    const double width = rng.uniform(1.0, 10.0);
+    const bool evolving = rng.bernoulli(0.6);
+    const double drift = evolving ? rng.uniform(-1.0, 1.0) : 0.0;
+    const double unsub_at = rng.bernoulli(0.4) ? rng.uniform(at + 1.0, kEnd) : -1.0;
+
+    if (record != nullptr) {
+      // Record microsecond-truncated instants so the offline oracle computes
+      // exactly the same elapsed-time doubles as the simulator.
+      record->subs.push_back({sec(at), clients[client_idx]->id(), SubscriptionId{}, lo, width,
+                              drift, evolving,
+                              unsub_at > 0 ? sec(unsub_at) : SimTime::max()});
+    }
+    const std::size_t rec = record == nullptr ? 0 : record->subs.size() - 1;
+    sim.at(sec(at), [=, &sim]() {
+      Subscription sub;
+      if (evolving) {
+        sub.add(Predicate{"price", RelOp::kGe,
+                          Expr::add(Expr::constant(lo),
+                                    Expr::mul(Expr::constant(drift), Expr::variable("t")))});
+        sub.add(Predicate{"price", RelOp::kLe,
+                          Expr::add(Expr::constant(lo + width),
+                                    Expr::mul(Expr::constant(drift), Expr::variable("t")))});
+      } else {
+        sub.add(Predicate{"price", RelOp::kGe, Value{lo}});
+        sub.add(Predicate{"price", RelOp::kLe, Value{lo + width}});
+      }
+      const auto id = clients[client_idx]->subscribe(std::move(sub));
+      if (record != nullptr) record->subs[rec].id = id;
+      if (unsub_at > 0) {
+        sim.at(sec(unsub_at), [=]() { clients[client_idx]->unsubscribe(id); });
+      }
+    });
+  }
+
+  // Publication stream: 100/s over the whole run.
+  auto pub_rng = std::make_shared<Rng>(rng.fork(0xf00d));
+  sim.every(sec(0.01), Duration::millis(10), sec(kEnd), [&, pub_rng](SimTime now) {
+    const double price = pub_rng->uniform(0.0, 100.0);
+    Publication pub;
+    pub.set("price", price);
+    const MessageId id = feed.publish(std::move(pub));
+    if (record != nullptr) record->pubs.push_back({now, id, price});
+  });
+
+  // One client departs gracefully mid-run.
+  sim.at(sec(kEnd * 0.7), [&]() { clients[0]->shutdown(); });
+
+  sim.run_until(sec(kEnd + 1.0));
+
+  SoakResult result;
+  result.log = collect_delivery_log(overlay);
+  for (const auto& b : overlay.brokers()) {
+    result.total_received += b->stats().received_total;
+    result.total_sub_msgs += b->stats().subscription_msgs;
+    result.residual_subs += b->subscription_count();
+    // Internal consistency: counters partition received_total.
+    const auto& s = b->stats();
+    EXPECT_EQ(s.subscription_msgs, s.subscribes + s.unsubscribes + s.sub_updates) << b->name();
+    EXPECT_LE(s.subscription_msgs, s.received_total);
+  }
+  return result;
+}
+
+TEST(Soak, DeterministicAcrossRuns) {
+  const SoakResult a = run_soak(99, EngineKind::kClees, nullptr);
+  const SoakResult b = run_soak(99, EngineKind::kClees, nullptr);
+  EXPECT_EQ(a.log.delivered, b.log.delivered);
+  EXPECT_EQ(a.total_received, b.total_received);
+  ASSERT_GT(a.log.total(), 0u);
+}
+
+TEST(Soak, LeesMatchesOfflineOracle) {
+  SoakRecord record;
+  const SoakResult result = run_soak(7, EngineKind::kLees, &record);
+
+  // Recompute expected deliveries: all links are zero-latency, so a
+  // publication entering at time T is evaluated everywhere at T, and a
+  // subscription is active in [at, unsub_at).
+  DeliveryLog expected;
+  for (const auto& pub : record.pubs) {
+    for (const auto& sub : record.subs) {
+      if (pub.at < sub.at) continue;
+      if (pub.at >= sub.unsubscribed_at) continue;
+      // Client 0 shut down at t=42: subscriptions installed before then die;
+      // ones scheduled for later still come up afterwards.
+      if (sub.client == ClientId{1} && sub.at < sec(42.0) && pub.at >= sec(42.0)) {
+        continue;  // clients[0] has ClientId 1
+      }
+      // Same arithmetic as EvalScope: integer-microsecond difference, one
+      // division, then lo + drift * t.
+      const double t_rel = (pub.at - sub.at).count_seconds();
+      const double lo = sub.lo + sub.drift * t_rel;
+      if (pub.price >= lo && pub.price <= lo + sub.width) {
+        expected.delivered[sub.client].insert(pub.id);
+      }
+    }
+  }
+  // Precise diagnostics on mismatch: report each differing (client, pub).
+  for (const auto& [client, pubs] : expected.delivered) {
+    const auto it = result.log.delivered.find(client);
+    for (const auto pub : pubs) {
+      const bool got = it != result.log.delivered.end() && it->second.contains(pub);
+      EXPECT_TRUE(got) << "missing delivery: client " << client << " pub " << pub.value();
+    }
+  }
+  for (const auto& [client, pubs] : result.log.delivered) {
+    const auto it = expected.delivered.find(client);
+    for (const auto pub : pubs) {
+      const bool wanted = it != expected.delivered.end() && it->second.contains(pub);
+      EXPECT_TRUE(wanted) << "unexpected delivery: client " << client << " pub "
+                          << pub.value();
+    }
+  }
+  EXPECT_EQ(result.log.total(), expected.total());
+}
+
+TEST(Soak, EnginesAgreeOnZeroLatencyOverlay) {
+  // With zero latencies and exact evaluation, LEES and a tiny-TT CLEES trace
+  // must coincide; VES differs only by MEI staleness, bounded by drift*MEI.
+  const SoakResult lees = run_soak(13, EngineKind::kLees, nullptr);
+  const SoakResult clees = run_soak(13, EngineKind::kClees, nullptr);
+  const AccuracyResult diff = compare_logs(lees.log, clees.log);
+  // CLEES caches for TT=1 s with drifts <= 1/s over ~1-10 wide bands: only
+  // publications within the staleness boundary (drift x cache age) differ.
+  EXPECT_LT(diff.error_rate(), 0.10);
+
+  const SoakResult ves = run_soak(13, EngineKind::kVes, nullptr);
+  const AccuracyResult ves_diff = compare_logs(lees.log, ves.log);
+  EXPECT_LT(ves_diff.error_rate(), 0.10);
+}
+
+TEST(Soak, ShutdownRemovesRoutingState) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kClees;
+  auto brokers = overlay.build_line(2, cfg, Duration::millis(1));
+  auto& client = overlay.add_client("c");
+  client.connect(*brokers[0], Duration::zero());
+  client.subscribe("x > 1");
+  client.subscribe("x > 2 + t");
+  client.advertise({parse_predicate("x > 0")});
+  sim.run_until(sec(1));
+  EXPECT_EQ(brokers[0]->subscription_count(), 2u);
+  EXPECT_EQ(brokers[1]->subscription_count(), 2u);
+  EXPECT_EQ(client.active_subscriptions().size(), 2u);
+  EXPECT_EQ(client.active_advertisements().size(), 1u);
+
+  client.shutdown();
+  sim.run_until(sec(2));
+  EXPECT_TRUE(client.active_subscriptions().empty());
+  EXPECT_TRUE(client.active_advertisements().empty());
+  EXPECT_EQ(brokers[0]->subscription_count(), 0u);
+  EXPECT_EQ(brokers[1]->subscription_count(), 0u);
+}
+
+}  // namespace
+}  // namespace evps

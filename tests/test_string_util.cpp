@@ -1,0 +1,63 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evps {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitQuoted, SeparatorInsideQuotesIgnored) {
+  const auto parts = split_quoted("name = 'a;b'; other = 1", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "name = 'a;b'");
+  EXPECT_EQ(parts[1], " other = 1");
+}
+
+TEST(SplitQuoted, UnbalancedQuoteSwallowsRest) {
+  const auto parts = split_quoted("a'x;y", ';');
+  ASSERT_EQ(parts.size(), 1u);
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t x\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_FALSE(starts_with("abcdef", "bcd"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,73 @@
+#include "metrics/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+struct TrafficTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+  Broker* b0 = nullptr;
+  Broker* b1 = nullptr;
+  PubSubClient* client = nullptr;
+
+  void SetUp() override {
+    BrokerConfig cfg;
+    cfg.engine.kind = EngineKind::kLees;
+    b0 = &overlay.add_broker("b0", cfg);
+    b1 = &overlay.add_broker("b1", cfg);
+    overlay.connect(*b0, *b1, Duration::millis(1));
+    client = &overlay.add_client("c");
+    client->connect(*b0, Duration::millis(1));
+  }
+};
+
+TEST_F(TrafficTest, CountsSubscriptionMessagesPerIntervalPerBroker) {
+  TrafficProbe probe{overlay, Duration::seconds(10), sec(30)};
+  // One resubscription (unsub+sub) per second for the first 10 seconds.
+  SubscriptionId current = client->subscribe("x > 0");
+  sim.every(sec(1), Duration::seconds(1), sec(10), [&](SimTime) {
+    current = client->resubscribe(current, parse_subscription("x > 0"));
+  });
+  sim.run_until(sec(30));
+
+  const auto& samples = probe.per_interval_per_broker();
+  ASSERT_EQ(samples.size(), 3u);
+  // Interval 1: 1 initial sub + 9 resubs (the 10s tick lands in interval 2)
+  // each touching 2 brokers -> (2 + 9*2*2)/2 per broker.
+  EXPECT_NEAR(samples[0], (2.0 + 9 * 4.0) / 2.0, 2.0);
+  EXPECT_NEAR(samples[1], 2.0, 2.0);  // the boundary resub
+  EXPECT_NEAR(samples[2], 0.0, 0.01);
+  EXPECT_GT(probe.mean(), 0.0);
+}
+
+TEST_F(TrafficTest, NoTrafficMeansZeroSamples) {
+  TrafficProbe probe{overlay, Duration::seconds(5), sec(10)};
+  sim.run_until(sec(10));
+  ASSERT_EQ(probe.per_interval_per_broker().size(), 2u);
+  EXPECT_EQ(probe.per_interval_per_broker()[0], 0.0);
+  EXPECT_EQ(probe.mean(), 0.0);
+}
+
+TEST_F(TrafficTest, RejectsNonPositiveInterval) {
+  EXPECT_THROW(TrafficProbe(overlay, Duration::zero(), sec(1)), std::invalid_argument);
+}
+
+TEST_F(TrafficTest, PublicationsNotCounted) {
+  PubSubClient& feed = overlay.add_client("feed");
+  feed.connect(*b1, Duration::millis(1));
+  TrafficProbe probe{overlay, Duration::seconds(5), sec(5)};
+  client->subscribe("x > 0");
+  sim.every(sec(1), Duration::seconds(1), sec(5), [&](SimTime) { feed.publish("x = 1"); });
+  sim.run_until(sec(5));
+  ASSERT_EQ(probe.per_interval_per_broker().size(), 1u);
+  EXPECT_DOUBLE_EQ(probe.per_interval_per_broker()[0], 1.0);  // 2 sub msgs / 2 brokers
+}
+
+}  // namespace
+}  // namespace evps

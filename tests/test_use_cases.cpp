@@ -1,0 +1,175 @@
+// The paper's application-domain scenarios (Section III-C), including its
+// exact worked examples.
+#include <gtest/gtest.h>
+
+#include "broker/overlay.hpp"
+#include "message/codec.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+BrokerConfig lees_config() {
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  return cfg;
+}
+
+struct UseCaseTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+  Broker& broker = overlay.add_broker("b", lees_config());
+  PubSubClient& subscriber = overlay.add_client("subscriber");
+  PubSubClient& publisher = overlay.add_client("publisher");
+
+  void SetUp() override {
+    // Zero-latency links: the paper's examples are stated in exact time.
+    subscriber.connect(broker, Duration::zero());
+    publisher.connect(broker, Duration::zero());
+  }
+};
+
+TEST_F(UseCaseTest, GameExampleTimeOnly) {
+  // Section III-C1: { x >= -3+t, x <= 3+t, y >= -2+t, y <= 2+t }; the apple
+  // pickup at (4,3) "sent at the same time as the subscription ... does not
+  // match it. But if it is sent one or two seconds after ... it will match."
+  subscriber.subscribe("x >= -3 + t; x <= 3 + t; y >= -2 + t; y <= 2 + t");
+  sim.run_until(sec(0));
+  sim.run_all(100);  // deliver the subscription at t=0
+
+  const auto publish_pickup = [&] {
+    publisher.publish("x = 4; y = 3; action = 'pickup'; object = 'apple'");
+  };
+  publish_pickup();  // t = 0: no match
+  sim.run_until(sec(1));
+  publish_pickup();  // t = 1: all predicates true (paper's worked example)
+  sim.run_until(sec(2));
+  publish_pickup();  // t = 2: y <= 2+t still holds (3 <= 4)
+  sim.run_until(sec(6));
+  publish_pickup();  // t = 6: window has moved past the apple
+  sim.run_all(1000);
+
+  ASSERT_EQ(subscriber.deliveries().size(), 2u);
+  EXPECT_EQ(subscriber.deliveries()[0].when, sec(1));
+  EXPECT_EQ(subscriber.deliveries()[1].when, sec(2));
+}
+
+TEST_F(UseCaseTest, GameExampleWithVisibility) {
+  // Section III-C1 continued: predicates scaled by visibility v. The paper
+  // evaluates { 2 >= (-3+1)*0.5, 2 <= (3+1)*0.5, 1.5 >= ... } at t=1,
+  // v=0.5 — a publication at (2, 1.5) matches the shrunken window.
+  broker.set_variable("v", 0.5);
+  subscriber.subscribe(
+      "x >= (-3 + t) * v; x <= (3 + t) * v; y >= (-2 + t) * v; y <= (2 + t) * v");
+  sim.run_until(sec(1));
+  publisher.publish("x = 2; y = 1.5");
+  sim.run_all(1000);
+  ASSERT_EQ(subscriber.deliveries().size(), 1u);
+
+  // With full visibility at t=1 the same point also matches ([-2,4]x[-1,3]).
+  broker.set_variable("v", 1.0);
+  publisher.publish("x = 2; y = 1.5");
+  sim.run_all(1000);
+  EXPECT_EQ(subscriber.deliveries().size(), 2u);
+
+  // But with v=0.25 at t=1 the window is [-0.5,1]x[-0.25,0.75]: no match.
+  broker.set_variable("v", 0.25);
+  publisher.publish("x = 2; y = 1.5");
+  sim.run_all(1000);
+  EXPECT_EQ(subscriber.deliveries().size(), 2u);
+}
+
+TEST_F(UseCaseTest, WarehouseMinimumSalePrice) {
+  // Section III-C2 (predictive trading / warehouse): the minimum sale price
+  // is adjusted dynamically from the stock level — "when the warehouse is
+  // close to empty, the minimum sale price" rises. Threshold expressed over
+  // the broker-side stockLevel variable (0..1): minPrice = 100 - 50*stock.
+  broker.set_variable("stockLevel", 1.0);  // full warehouse: accept >= 50
+  subscriber.subscribe("bid >= 100 - 50 * stockLevel; item = 'widget'");
+  sim.run_until(sec(0.001));
+
+  publisher.publish("item = 'widget'; bid = 60");
+  sim.run_all(1000);
+  EXPECT_EQ(subscriber.deliveries().size(), 1u);  // 60 >= 50
+
+  broker.set_variable("stockLevel", 0.1);  // nearly empty: accept >= 95
+  publisher.publish("item = 'widget'; bid = 60");
+  publisher.publish("item = 'widget'; bid = 97");
+  sim.run_all(1000);
+  ASSERT_EQ(subscriber.deliveries().size(), 2u);
+  EXPECT_DOUBLE_EQ(*subscriber.deliveries()[1].pub.get("bid")->numeric(), 97.0);
+}
+
+TEST_F(UseCaseTest, MonitoringModes) {
+  // Section III-C: monitoring nodes "match important publications when in
+  // critical mode, no publications when in standard mode, and a sample of
+  // publications when in diagnosis mode".
+  broker.set_variable("mode", 0.0);  // standard
+  subscriber.subscribe(
+      "sev >= 1000 * step(0.5 - mode) + 8 * step(1.5 - mode) * step(mode - 0.5)");
+  sim.run_until(sec(0.001));
+
+  const auto emit = [&] {
+    for (const int sev : {2, 8, 10}) {
+      Publication p;
+      p.set("sev", sev);
+      publisher.publish(std::move(p));
+    }
+    sim.run_all(1000);
+  };
+  emit();  // standard: nothing
+  EXPECT_EQ(subscriber.deliveries().size(), 0u);
+
+  broker.set_variable("mode", 1.0);  // diagnosis: sev >= 8
+  emit();
+  EXPECT_EQ(subscriber.deliveries().size(), 2u);
+
+  broker.set_variable("mode", 2.0);  // critical: everything
+  emit();
+  EXPECT_EQ(subscriber.deliveries().size(), 5u);
+}
+
+TEST_F(UseCaseTest, BrokerOverloadSelfProtectionExpression) {
+  // Section III-C: "an evolving subscription of the form
+  // (distance < maxDist * (maxBw - outgoingBw)) matches all publications up
+  // to maxDist when there is no load, and no publications at all when the
+  // system is fully loaded." (Normalised: bandwidth fraction 0..1.)
+  broker.set_variable("outgoingBw", 0.0);
+  broker.set_variable("maxDist", 100.0);
+  subscriber.subscribe("distance < maxDist * (1 - outgoingBw)");
+  sim.run_until(sec(0.001));
+
+  publisher.publish("distance = 99");
+  sim.run_all(1000);
+  EXPECT_EQ(subscriber.deliveries().size(), 1u);  // idle: up to maxDist
+
+  broker.set_variable("outgoingBw", 1.0);  // fully loaded
+  publisher.publish("distance = 0.5");
+  sim.run_all(1000);
+  EXPECT_EQ(subscriber.deliveries().size(), 1u);  // nothing matches
+
+  broker.set_variable("outgoingBw", 0.5);  // half load: up to 50
+  publisher.publish("distance = 30");
+  publisher.publish("distance = 70");
+  sim.run_all(1000);
+  EXPECT_EQ(subscriber.deliveries().size(), 2u);
+}
+
+TEST_F(UseCaseTest, PredictiveStockTradingBand) {
+  // Predictive stock trading (Sections I, III-C): a narrow band around an
+  // extrapolated price path.
+  subscriber.subscribe("symbol = 'ACME'; price >= 15.00 + 0.02 * t; price <= 15.10 + 0.02 * t");
+  sim.run_until(sec(0.001));
+
+  publisher.publish("symbol = 'ACME'; price = 15.05");  // t~0: in [15.00,15.10]
+  publisher.publish("symbol = 'ACME'; price = 15.25");  // t~0: out
+  sim.run_until(sec(10));
+  publisher.publish("symbol = 'ACME'; price = 15.25");  // t=10: in [15.20,15.30]
+  publisher.publish("symbol = 'OTHR'; price = 15.25");  // wrong symbol
+  sim.run_all(1000);
+  EXPECT_EQ(subscriber.deliveries().size(), 2u);
+}
+
+}  // namespace
+}  // namespace evps

@@ -1,0 +1,52 @@
+// Shared test helpers.
+#pragma once
+
+#include <memory>
+
+#include "evolving/engine.hpp"
+#include "expr/parser.hpp"
+#include "message/codec.hpp"
+#include "sim/simulator.hpp"
+
+namespace evps::testutil {
+
+/// EngineHost backed by a simulator, for driving engines without a broker.
+class SimHost final : public EngineHost {
+ public:
+  explicit SimHost(Simulator& sim) : sim_(sim) {}
+
+  [[nodiscard]] SimTime now() const override { return sim_.now(); }
+  void schedule(Duration delay, std::function<void()> fn) override {
+    sim_.after(delay, std::move(fn));
+  }
+  [[nodiscard]] VariableRegistry& variables() override { return registry_; }
+
+  void set_variable(const std::string& name, double value) {
+    registry_.set(name, value, sim_.now());
+  }
+
+ private:
+  Simulator& sim_;
+  VariableRegistry registry_;
+};
+
+/// Build a subscription from codec text with an explicit id; the destination
+/// is chosen by the caller at add() time.
+inline SubscriptionPtr make_sub(std::uint64_t id, std::string_view text,
+                                SimTime epoch = SimTime::zero()) {
+  Subscription sub = parse_subscription(text);
+  sub.set_id(SubscriptionId{id});
+  sub.set_subscriber(ClientId{id});
+  sub.set_epoch(epoch);
+  return std::make_shared<const Subscription>(std::move(sub));
+}
+
+inline std::vector<NodeId> match(BrokerEngine& engine, EngineHost& host,
+                                 const Publication& pub,
+                                 const VariableSnapshot* snapshot = nullptr) {
+  std::vector<NodeId> dests;
+  engine.match(pub, snapshot, host, dests);
+  return dests;
+}
+
+}  // namespace evps::testutil

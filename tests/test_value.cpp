@@ -1,0 +1,105 @@
+#include "common/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evps {
+namespace {
+
+TEST(Value, DefaultIsIntZero) {
+  const Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 0);
+}
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value{3}.is_int());
+  EXPECT_TRUE(Value{3.5}.is_double());
+  EXPECT_TRUE(Value{"abc"}.is_string());
+  EXPECT_TRUE(Value{3}.is_numeric());
+  EXPECT_TRUE(Value{3.5}.is_numeric());
+  EXPECT_FALSE(Value{"abc"}.is_numeric());
+}
+
+TEST(Value, NumericView) {
+  EXPECT_EQ(Value{3}.numeric(), 3.0);
+  EXPECT_EQ(Value{2.5}.numeric(), 2.5);
+  EXPECT_FALSE(Value{"x"}.numeric().has_value());
+}
+
+TEST(Value, IntDoubleCrossComparison) {
+  EXPECT_EQ(Value{2}, Value{2.0});
+  EXPECT_EQ(*Value{2}.compare(Value{2.5}), -1);
+  EXPECT_EQ(*Value{3.0}.compare(Value{2}), 1);
+}
+
+TEST(Value, IntIntComparisonIsExactForLargeValues) {
+  const std::int64_t big = (std::int64_t{1} << 62) + 1;
+  EXPECT_EQ(*Value{big}.compare(Value{big - 1}), 1);
+  EXPECT_EQ(*Value{big}.compare(Value{big}), 0);
+}
+
+TEST(Value, StringComparison) {
+  EXPECT_EQ(*Value{"apple"}.compare(Value{"banana"}), -1);
+  EXPECT_EQ(*Value{"pear"}.compare(Value{"pear"}), 0);
+  EXPECT_EQ(*Value{"zebra"}.compare(Value{"ant"}), 1);
+}
+
+TEST(Value, StringNumericIncomparable) {
+  EXPECT_FALSE(Value{"2"}.compare(Value{2}).has_value());
+  EXPECT_FALSE(Value{2}.compare(Value{"2"}).has_value());
+  EXPECT_FALSE(Value{"2"} == Value{2});
+}
+
+TEST(Value, NanIncomparable) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(Value{nan}.compare(Value{1.0}).has_value());
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value{42}.to_string(), "42");
+  EXPECT_EQ(Value{-3}.to_string(), "-3");
+  EXPECT_EQ(Value{2.5}.to_string(), "2.5");
+  EXPECT_EQ(Value{2.0}.to_string(), "2.0");  // doubles keep a marker
+  EXPECT_EQ(Value{"hi"}.to_string(), "'hi'");
+}
+
+TEST(Value, ParseInt) {
+  const Value v = Value::parse("123");
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 123);
+}
+
+TEST(Value, ParseNegativeInt) {
+  const Value v = Value::parse("-7");
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -7);
+}
+
+TEST(Value, ParseDouble) {
+  const Value v = Value::parse("2.75");
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.75);
+}
+
+TEST(Value, ParseQuotedString) {
+  const Value v = Value::parse("'hello world'");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello world");
+}
+
+TEST(Value, ParseBareStringFallback) {
+  const Value v = Value::parse("IBM");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "IBM");
+}
+
+TEST(Value, ParseRoundTrip) {
+  for (const Value& original : {Value{17}, Value{-4}, Value{3.25}, Value{2.0}, Value{"sym"}}) {
+    const Value reparsed = Value::parse(original.to_string());
+    EXPECT_EQ(reparsed, original) << original.to_string();
+    EXPECT_EQ(reparsed.is_string(), original.is_string());
+  }
+}
+
+}  // namespace
+}  // namespace evps
