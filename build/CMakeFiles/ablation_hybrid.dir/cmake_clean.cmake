@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid.dir/bench/ablation_hybrid.cpp.o"
+  "CMakeFiles/ablation_hybrid.dir/bench/ablation_hybrid.cpp.o.d"
+  "bench/ablation_hybrid"
+  "bench/ablation_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matcher.dir/bench/ablation_matcher.cpp.o"
+  "CMakeFiles/ablation_matcher.dir/bench/ablation_matcher.cpp.o.d"
+  "bench/ablation_matcher"
+  "bench/ablation_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10ab_throughput.cpp" "CMakeFiles/fig10ab_throughput.dir/bench/fig10ab_throughput.cpp.o" "gcc" "CMakeFiles/fig10ab_throughput.dir/bench/fig10ab_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/evps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/evps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/evps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/evolving/CMakeFiles/evps_evolving.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/evps_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/message/CMakeFiles/evps_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/evps_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10ab_throughput.dir/bench/fig10ab_throughput.cpp.o"
+  "CMakeFiles/fig10ab_throughput.dir/bench/fig10ab_throughput.cpp.o.d"
+  "bench/fig10ab_throughput"
+  "bench/fig10ab_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10ab_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_visibility.dir/bench/fig10c_visibility.cpp.o"
+  "CMakeFiles/fig10c_visibility.dir/bench/fig10c_visibility.cpp.o.d"
+  "bench/fig10c_visibility"
+  "bench/fig10c_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10c_visibility.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_traffic.dir/bench/fig6_traffic.cpp.o"
+  "CMakeFiles/fig6_traffic.dir/bench/fig6_traffic.cpp.o.d"
+  "bench/fig6_traffic"
+  "bench/fig6_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

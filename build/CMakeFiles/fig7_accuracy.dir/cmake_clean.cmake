@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_accuracy.dir/bench/fig7_accuracy.cpp.o"
+  "CMakeFiles/fig7_accuracy.dir/bench/fig7_accuracy.cpp.o.d"
+  "bench/fig7_accuracy"
+  "bench/fig7_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_processing.dir/bench/fig8_processing.cpp.o"
+  "CMakeFiles/fig8_processing.dir/bench/fig8_processing.cpp.o.d"
+  "bench/fig8_processing"
+  "bench/fig8_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

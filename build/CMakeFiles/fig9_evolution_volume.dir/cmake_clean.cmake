@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_evolution_volume.dir/bench/fig9_evolution_volume.cpp.o"
+  "CMakeFiles/fig9_evolution_volume.dir/bench/fig9_evolution_volume.cpp.o.d"
+  "bench/fig9_evolution_volume"
+  "bench/fig9_evolution_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_evolution_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_engines.dir/bench/micro_engines.cpp.o"
+  "CMakeFiles/micro_engines.dir/bench/micro_engines.cpp.o.d"
+  "bench/micro_engines"
+  "bench/micro_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

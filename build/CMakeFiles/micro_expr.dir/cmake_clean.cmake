@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_expr.dir/bench/micro_expr.cpp.o"
+  "CMakeFiles/micro_expr.dir/bench/micro_expr.cpp.o.d"
+  "bench/micro_expr"
+  "bench/micro_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_matcher.dir/bench/micro_matcher.cpp.o"
+  "CMakeFiles/micro_matcher.dir/bench/micro_matcher.cpp.o.d"
+  "bench/micro_matcher"
+  "bench/micro_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_demo.dir/game_demo.cpp.o"
+  "CMakeFiles/game_demo.dir/game_demo.cpp.o.d"
+  "game_demo"
+  "game_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hft_demo.dir/hft_demo.cpp.o"
+  "CMakeFiles/hft_demo.dir/hft_demo.cpp.o.d"
+  "hft_demo"
+  "hft_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hft_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_demo.dir/monitoring_demo.cpp.o"
+  "CMakeFiles/monitoring_demo.dir/monitoring_demo.cpp.o.d"
+  "monitoring_demo"
+  "monitoring_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_demo.dir/realtime_demo.cpp.o"
+  "CMakeFiles/realtime_demo.dir/realtime_demo.cpp.o.d"
+  "realtime_demo"
+  "realtime_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

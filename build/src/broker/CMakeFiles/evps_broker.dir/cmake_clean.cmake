@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_broker.dir/broker.cpp.o"
+  "CMakeFiles/evps_broker.dir/broker.cpp.o.d"
+  "CMakeFiles/evps_broker.dir/client.cpp.o"
+  "CMakeFiles/evps_broker.dir/client.cpp.o.d"
+  "CMakeFiles/evps_broker.dir/overlay.cpp.o"
+  "CMakeFiles/evps_broker.dir/overlay.cpp.o.d"
+  "libevps_broker.a"
+  "libevps_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/evps_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/evps_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/common/CMakeFiles/evps_common.dir/string_util.cpp.o" "gcc" "src/common/CMakeFiles/evps_common.dir/string_util.cpp.o.d"
+  "/root/repo/src/common/value.cpp" "src/common/CMakeFiles/evps_common.dir/value.cpp.o" "gcc" "src/common/CMakeFiles/evps_common.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

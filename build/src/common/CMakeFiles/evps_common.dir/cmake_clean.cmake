@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_common.dir/logging.cpp.o"
+  "CMakeFiles/evps_common.dir/logging.cpp.o.d"
+  "CMakeFiles/evps_common.dir/string_util.cpp.o"
+  "CMakeFiles/evps_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/evps_common.dir/value.cpp.o"
+  "CMakeFiles/evps_common.dir/value.cpp.o.d"
+  "libevps_common.a"
+  "libevps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

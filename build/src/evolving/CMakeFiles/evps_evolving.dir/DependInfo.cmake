@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evolving/clees_engine.cpp" "src/evolving/CMakeFiles/evps_evolving.dir/clees_engine.cpp.o" "gcc" "src/evolving/CMakeFiles/evps_evolving.dir/clees_engine.cpp.o.d"
+  "/root/repo/src/evolving/engine.cpp" "src/evolving/CMakeFiles/evps_evolving.dir/engine.cpp.o" "gcc" "src/evolving/CMakeFiles/evps_evolving.dir/engine.cpp.o.d"
+  "/root/repo/src/evolving/esq.cpp" "src/evolving/CMakeFiles/evps_evolving.dir/esq.cpp.o" "gcc" "src/evolving/CMakeFiles/evps_evolving.dir/esq.cpp.o.d"
+  "/root/repo/src/evolving/hybrid_engine.cpp" "src/evolving/CMakeFiles/evps_evolving.dir/hybrid_engine.cpp.o" "gcc" "src/evolving/CMakeFiles/evps_evolving.dir/hybrid_engine.cpp.o.d"
+  "/root/repo/src/evolving/lees_engine.cpp" "src/evolving/CMakeFiles/evps_evolving.dir/lees_engine.cpp.o" "gcc" "src/evolving/CMakeFiles/evps_evolving.dir/lees_engine.cpp.o.d"
+  "/root/repo/src/evolving/parametric_engine.cpp" "src/evolving/CMakeFiles/evps_evolving.dir/parametric_engine.cpp.o" "gcc" "src/evolving/CMakeFiles/evps_evolving.dir/parametric_engine.cpp.o.d"
+  "/root/repo/src/evolving/static_engine.cpp" "src/evolving/CMakeFiles/evps_evolving.dir/static_engine.cpp.o" "gcc" "src/evolving/CMakeFiles/evps_evolving.dir/static_engine.cpp.o.d"
+  "/root/repo/src/evolving/ves_engine.cpp" "src/evolving/CMakeFiles/evps_evolving.dir/ves_engine.cpp.o" "gcc" "src/evolving/CMakeFiles/evps_evolving.dir/ves_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/evps_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/message/CMakeFiles/evps_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/evps_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/evps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

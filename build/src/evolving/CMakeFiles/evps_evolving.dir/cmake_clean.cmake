@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_evolving.dir/clees_engine.cpp.o"
+  "CMakeFiles/evps_evolving.dir/clees_engine.cpp.o.d"
+  "CMakeFiles/evps_evolving.dir/engine.cpp.o"
+  "CMakeFiles/evps_evolving.dir/engine.cpp.o.d"
+  "CMakeFiles/evps_evolving.dir/esq.cpp.o"
+  "CMakeFiles/evps_evolving.dir/esq.cpp.o.d"
+  "CMakeFiles/evps_evolving.dir/hybrid_engine.cpp.o"
+  "CMakeFiles/evps_evolving.dir/hybrid_engine.cpp.o.d"
+  "CMakeFiles/evps_evolving.dir/lees_engine.cpp.o"
+  "CMakeFiles/evps_evolving.dir/lees_engine.cpp.o.d"
+  "CMakeFiles/evps_evolving.dir/parametric_engine.cpp.o"
+  "CMakeFiles/evps_evolving.dir/parametric_engine.cpp.o.d"
+  "CMakeFiles/evps_evolving.dir/static_engine.cpp.o"
+  "CMakeFiles/evps_evolving.dir/static_engine.cpp.o.d"
+  "CMakeFiles/evps_evolving.dir/ves_engine.cpp.o"
+  "CMakeFiles/evps_evolving.dir/ves_engine.cpp.o.d"
+  "libevps_evolving.a"
+  "libevps_evolving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_evolving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

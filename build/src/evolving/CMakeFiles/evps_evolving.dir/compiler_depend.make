@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for evps_evolving.
+# This may be replaced when dependencies are built.

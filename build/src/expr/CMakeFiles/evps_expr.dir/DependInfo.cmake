@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/ast.cpp" "src/expr/CMakeFiles/evps_expr.dir/ast.cpp.o" "gcc" "src/expr/CMakeFiles/evps_expr.dir/ast.cpp.o.d"
+  "/root/repo/src/expr/parser.cpp" "src/expr/CMakeFiles/evps_expr.dir/parser.cpp.o" "gcc" "src/expr/CMakeFiles/evps_expr.dir/parser.cpp.o.d"
+  "/root/repo/src/expr/variable_registry.cpp" "src/expr/CMakeFiles/evps_expr.dir/variable_registry.cpp.o" "gcc" "src/expr/CMakeFiles/evps_expr.dir/variable_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

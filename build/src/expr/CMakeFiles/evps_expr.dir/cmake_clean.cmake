@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_expr.dir/ast.cpp.o"
+  "CMakeFiles/evps_expr.dir/ast.cpp.o.d"
+  "CMakeFiles/evps_expr.dir/parser.cpp.o"
+  "CMakeFiles/evps_expr.dir/parser.cpp.o.d"
+  "CMakeFiles/evps_expr.dir/variable_registry.cpp.o"
+  "CMakeFiles/evps_expr.dir/variable_registry.cpp.o.d"
+  "libevps_expr.a"
+  "libevps_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

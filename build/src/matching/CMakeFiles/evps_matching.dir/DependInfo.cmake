@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/brute_force_matcher.cpp" "src/matching/CMakeFiles/evps_matching.dir/brute_force_matcher.cpp.o" "gcc" "src/matching/CMakeFiles/evps_matching.dir/brute_force_matcher.cpp.o.d"
+  "/root/repo/src/matching/churn_matcher.cpp" "src/matching/CMakeFiles/evps_matching.dir/churn_matcher.cpp.o" "gcc" "src/matching/CMakeFiles/evps_matching.dir/churn_matcher.cpp.o.d"
+  "/root/repo/src/matching/counting_matcher.cpp" "src/matching/CMakeFiles/evps_matching.dir/counting_matcher.cpp.o" "gcc" "src/matching/CMakeFiles/evps_matching.dir/counting_matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/message/CMakeFiles/evps_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/evps_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

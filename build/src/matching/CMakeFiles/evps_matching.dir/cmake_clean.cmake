@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_matching.dir/brute_force_matcher.cpp.o"
+  "CMakeFiles/evps_matching.dir/brute_force_matcher.cpp.o.d"
+  "CMakeFiles/evps_matching.dir/churn_matcher.cpp.o"
+  "CMakeFiles/evps_matching.dir/churn_matcher.cpp.o.d"
+  "CMakeFiles/evps_matching.dir/counting_matcher.cpp.o"
+  "CMakeFiles/evps_matching.dir/counting_matcher.cpp.o.d"
+  "libevps_matching.a"
+  "libevps_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

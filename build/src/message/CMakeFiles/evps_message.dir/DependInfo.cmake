@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/message/advertisement.cpp" "src/message/CMakeFiles/evps_message.dir/advertisement.cpp.o" "gcc" "src/message/CMakeFiles/evps_message.dir/advertisement.cpp.o.d"
+  "/root/repo/src/message/codec.cpp" "src/message/CMakeFiles/evps_message.dir/codec.cpp.o" "gcc" "src/message/CMakeFiles/evps_message.dir/codec.cpp.o.d"
+  "/root/repo/src/message/predicate.cpp" "src/message/CMakeFiles/evps_message.dir/predicate.cpp.o" "gcc" "src/message/CMakeFiles/evps_message.dir/predicate.cpp.o.d"
+  "/root/repo/src/message/publication.cpp" "src/message/CMakeFiles/evps_message.dir/publication.cpp.o" "gcc" "src/message/CMakeFiles/evps_message.dir/publication.cpp.o.d"
+  "/root/repo/src/message/subscription.cpp" "src/message/CMakeFiles/evps_message.dir/subscription.cpp.o" "gcc" "src/message/CMakeFiles/evps_message.dir/subscription.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/evps_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

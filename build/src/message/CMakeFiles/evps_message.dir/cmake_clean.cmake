@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_message.dir/advertisement.cpp.o"
+  "CMakeFiles/evps_message.dir/advertisement.cpp.o.d"
+  "CMakeFiles/evps_message.dir/codec.cpp.o"
+  "CMakeFiles/evps_message.dir/codec.cpp.o.d"
+  "CMakeFiles/evps_message.dir/predicate.cpp.o"
+  "CMakeFiles/evps_message.dir/predicate.cpp.o.d"
+  "CMakeFiles/evps_message.dir/publication.cpp.o"
+  "CMakeFiles/evps_message.dir/publication.cpp.o.d"
+  "CMakeFiles/evps_message.dir/subscription.cpp.o"
+  "CMakeFiles/evps_message.dir/subscription.cpp.o.d"
+  "libevps_message.a"
+  "libevps_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

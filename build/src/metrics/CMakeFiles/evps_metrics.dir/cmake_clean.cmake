@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_metrics.dir/accuracy.cpp.o"
+  "CMakeFiles/evps_metrics.dir/accuracy.cpp.o.d"
+  "CMakeFiles/evps_metrics.dir/latency.cpp.o"
+  "CMakeFiles/evps_metrics.dir/latency.cpp.o.d"
+  "CMakeFiles/evps_metrics.dir/report.cpp.o"
+  "CMakeFiles/evps_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/evps_metrics.dir/traffic.cpp.o"
+  "CMakeFiles/evps_metrics.dir/traffic.cpp.o.d"
+  "libevps_metrics.a"
+  "libevps_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

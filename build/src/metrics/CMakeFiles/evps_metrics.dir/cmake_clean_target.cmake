@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevps_metrics.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_realtime.dir/realtime_host.cpp.o"
+  "CMakeFiles/evps_realtime.dir/realtime_host.cpp.o.d"
+  "libevps_realtime.a"
+  "libevps_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

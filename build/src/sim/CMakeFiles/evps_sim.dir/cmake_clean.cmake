@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_sim.dir/network.cpp.o"
+  "CMakeFiles/evps_sim.dir/network.cpp.o.d"
+  "CMakeFiles/evps_sim.dir/simulator.cpp.o"
+  "CMakeFiles/evps_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/evps_sim.dir/stats.cpp.o"
+  "CMakeFiles/evps_sim.dir/stats.cpp.o.d"
+  "libevps_sim.a"
+  "libevps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

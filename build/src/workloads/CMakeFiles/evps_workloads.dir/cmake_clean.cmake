@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evps_workloads.dir/game.cpp.o"
+  "CMakeFiles/evps_workloads.dir/game.cpp.o.d"
+  "CMakeFiles/evps_workloads.dir/hft.cpp.o"
+  "CMakeFiles/evps_workloads.dir/hft.cpp.o.d"
+  "libevps_workloads.a"
+  "libevps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

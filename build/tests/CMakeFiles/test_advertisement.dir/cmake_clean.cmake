@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advertisement.dir/test_advertisement.cpp.o"
+  "CMakeFiles/test_advertisement.dir/test_advertisement.cpp.o.d"
+  "test_advertisement"
+  "test_advertisement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advertisement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broker.dir/test_broker.cpp.o"
+  "CMakeFiles/test_broker.dir/test_broker.cpp.o.d"
+  "test_broker"
+  "test_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broker_edge_cases.dir/test_broker_edge_cases.cpp.o"
+  "CMakeFiles/test_broker_edge_cases.dir/test_broker_edge_cases.cpp.o.d"
+  "test_broker_edge_cases"
+  "test_broker_edge_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broker_edge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

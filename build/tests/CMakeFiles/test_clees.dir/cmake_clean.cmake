@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clees.dir/test_clees.cpp.o"
+  "CMakeFiles/test_clees.dir/test_clees.cpp.o.d"
+  "test_clees"
+  "test_clees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

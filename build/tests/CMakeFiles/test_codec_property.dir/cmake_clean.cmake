@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_property.dir/test_codec_property.cpp.o"
+  "CMakeFiles/test_codec_property.dir/test_codec_property.cpp.o.d"
+  "test_codec_property"
+  "test_codec_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esq.dir/test_esq.cpp.o"
+  "CMakeFiles/test_esq.dir/test_esq.cpp.o.d"
+  "test_esq"
+  "test_esq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game.dir/test_game.cpp.o"
+  "CMakeFiles/test_game.dir/test_game.cpp.o.d"
+  "test_game"
+  "test_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

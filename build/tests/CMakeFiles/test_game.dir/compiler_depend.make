@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_game.
+# This may be replaced when dependencies are built.

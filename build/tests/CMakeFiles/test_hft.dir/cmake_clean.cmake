@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hft.dir/test_hft.cpp.o"
+  "CMakeFiles/test_hft.dir/test_hft.cpp.o.d"
+  "test_hft"
+  "test_hft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ids.dir/test_ids.cpp.o"
+  "CMakeFiles/test_ids.dir/test_ids.cpp.o.d"
+  "test_ids"
+  "test_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

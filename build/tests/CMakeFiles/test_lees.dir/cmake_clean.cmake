@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lees.dir/test_lees.cpp.o"
+  "CMakeFiles/test_lees.dir/test_lees.cpp.o.d"
+  "test_lees"
+  "test_lees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matcher.dir/test_matcher.cpp.o"
+  "CMakeFiles/test_matcher.dir/test_matcher.cpp.o.d"
+  "test_matcher"
+  "test_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

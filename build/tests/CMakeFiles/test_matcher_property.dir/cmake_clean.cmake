@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matcher_property.dir/test_matcher_property.cpp.o"
+  "CMakeFiles/test_matcher_property.dir/test_matcher_property.cpp.o.d"
+  "test_matcher_property"
+  "test_matcher_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matcher_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_extra.dir/test_metrics_extra.cpp.o"
+  "CMakeFiles/test_metrics_extra.dir/test_metrics_extra.cpp.o.d"
+  "test_metrics_extra"
+  "test_metrics_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

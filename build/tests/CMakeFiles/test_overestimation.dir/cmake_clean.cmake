@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overestimation.dir/test_overestimation.cpp.o"
+  "CMakeFiles/test_overestimation.dir/test_overestimation.cpp.o.d"
+  "test_overestimation"
+  "test_overestimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overestimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicate.dir/test_predicate.cpp.o"
+  "CMakeFiles/test_predicate.dir/test_predicate.cpp.o.d"
+  "test_predicate"
+  "test_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_publication.dir/test_publication.cpp.o"
+  "CMakeFiles/test_publication.dir/test_publication.cpp.o.d"
+  "test_publication"
+  "test_publication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_publication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

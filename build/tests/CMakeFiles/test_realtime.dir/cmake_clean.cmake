@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realtime.dir/test_realtime.cpp.o"
+  "CMakeFiles/test_realtime.dir/test_realtime.cpp.o.d"
+  "test_realtime"
+  "test_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_property.dir/test_routing_property.cpp.o"
+  "CMakeFiles/test_routing_property.dir/test_routing_property.cpp.o.d"
+  "test_routing_property"
+  "test_routing_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

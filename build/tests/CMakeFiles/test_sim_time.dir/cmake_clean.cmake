@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_time.dir/test_sim_time.cpp.o"
+  "CMakeFiles/test_sim_time.dir/test_sim_time.cpp.o.d"
+  "test_sim_time"
+  "test_sim_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

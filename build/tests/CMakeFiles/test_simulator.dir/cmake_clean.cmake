@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator.dir/test_simulator.cpp.o"
+  "CMakeFiles/test_simulator.dir/test_simulator.cpp.o.d"
+  "test_simulator"
+  "test_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot_consistency.dir/test_snapshot_consistency.cpp.o"
+  "CMakeFiles/test_snapshot_consistency.dir/test_snapshot_consistency.cpp.o.d"
+  "test_snapshot_consistency"
+  "test_snapshot_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

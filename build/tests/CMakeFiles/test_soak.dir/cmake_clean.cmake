@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soak.dir/test_soak.cpp.o"
+  "CMakeFiles/test_soak.dir/test_soak.cpp.o.d"
+  "test_soak"
+  "test_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_string_util.dir/test_string_util.cpp.o"
+  "CMakeFiles/test_string_util.dir/test_string_util.cpp.o.d"
+  "test_string_util"
+  "test_string_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_string_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subscription.dir/test_subscription.cpp.o"
+  "CMakeFiles/test_subscription.dir/test_subscription.cpp.o.d"
+  "test_subscription"
+  "test_subscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_use_cases.dir/test_use_cases.cpp.o"
+  "CMakeFiles/test_use_cases.dir/test_use_cases.cpp.o.d"
+  "test_use_cases"
+  "test_use_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_use_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

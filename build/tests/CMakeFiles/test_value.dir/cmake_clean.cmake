@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value.dir/test_value.cpp.o"
+  "CMakeFiles/test_value.dir/test_value.cpp.o.d"
+  "test_value"
+  "test_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variable_registry.dir/test_variable_registry.cpp.o"
+  "CMakeFiles/test_variable_registry.dir/test_variable_registry.cpp.o.d"
+  "test_variable_registry"
+  "test_variable_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variable_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

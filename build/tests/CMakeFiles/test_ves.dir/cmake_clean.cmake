@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ves.dir/test_ves.cpp.o"
+  "CMakeFiles/test_ves.dir/test_ves.cpp.o.d"
+  "test_ves"
+  "test_ves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
