@@ -10,9 +10,11 @@ function(evps_bench name)
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
 
+# Google-benchmark micro benches; each defines its own main() (see
+# bench/gbench_main.hpp) so results are dumped to BENCH_*.json by default.
 function(evps_gbench name)
   evps_bench(${name})
-  target_link_libraries(${name} PRIVATE benchmark::benchmark benchmark::benchmark_main)
+  target_link_libraries(${name} PRIVATE benchmark::benchmark)
 endfunction()
 
 evps_bench(fig6_traffic)

@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "evolving/engine.hpp"
 #include "evolving/ves_engine.hpp"
+#include "gbench_main.hpp"
 
 namespace {
 
@@ -113,3 +114,5 @@ void BM_VesEvolutionRound(benchmark::State& state) {
 BENCHMARK(BM_VesEvolutionRound)->Arg(100)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) { return evps_bench::run(argc, argv, "BENCH_engines.json"); }

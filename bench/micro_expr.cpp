@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "expr/parser.hpp"
+#include "gbench_main.hpp"
 #include "expr/variable_registry.hpp"
 #include "message/predicate.hpp"
 
@@ -77,3 +78,5 @@ void BM_MaterializePredicate(benchmark::State& state) {
 BENCHMARK(BM_MaterializePredicate);
 
 }  // namespace
+
+int main(int argc, char** argv) { return evps_bench::run(argc, argv, "BENCH_expr.json"); }

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "gbench_main.hpp"
 #include "matching/brute_force_matcher.hpp"
 #include "matching/churn_matcher.hpp"
 #include "matching/counting_matcher.hpp"
@@ -94,4 +95,32 @@ void BM_EqualityHeavyMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EqualityHeavyMatch)->Arg(900)->Arg(9000);
 
+template <typename M>
+void BM_LargePopulationMatch(benchmark::State& state) {
+  // Millions-of-subscribers direction: 100k resident AOI subscriptions
+  // (400k indexed predicates). The matcher is built once and shared across
+  // repetitions — at this population the sorted-index build is the dominant
+  // setup cost, not something to re-pay per timing run.
+  static M* matcher = [] {
+    auto* m = new M;
+    Rng fill_rng{11};
+    fill(*m, 100000, fill_rng);
+    return m;
+  }();
+  Rng rng{12};
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    Publication pub;
+    pub.set("x", rng.uniform(-100.0, 100.0));
+    pub.set("y", rng.uniform(-100.0, 100.0));
+    out.clear();
+    matcher->match(pub, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_LargePopulationMatch<CountingMatcher>);
+BENCHMARK(BM_LargePopulationMatch<ChurnMatcher>);
+
 }  // namespace
+
+int main(int argc, char** argv) { return evps_bench::run(argc, argv, "BENCH_matcher.json"); }

@@ -11,6 +11,10 @@ Broker::Broker(std::string name, Network& net, BrokerConfig config)
   net_.attach(*this);
 }
 
+Broker::~Broker() {
+  for (auto& monitor : monitors_) monitor.cancel();
+}
+
 void Broker::connect(Broker& a, Broker& b, Duration latency) {
   a.net_.connect(a.node_id(), b.node_id(), latency);
   a.broker_neighbors_.insert(b.node_id());
@@ -30,10 +34,11 @@ void Broker::set_variable_local(const std::string& name, double value) {
   registry_.set(name, value, now());
 }
 
-void Broker::enable_load_monitor(const std::string& name, Duration interval, SimTime until) {
+TimerHandle Broker::enable_load_monitor(const std::string& name, Duration interval,
+                                        SimTime until) {
   set_variable_local(name, 0.0);
   auto last = std::make_shared<std::uint64_t>(stats_.deliveries + stats_.pubs_forwarded);
-  net_.simulator().every(
+  TimerHandle handle = net_.simulator().every(
       now() + interval, interval, until, [this, name, interval, last](SimTime) {
         const std::uint64_t total = stats_.deliveries + stats_.pubs_forwarded;
         const double rate =
@@ -41,6 +46,8 @@ void Broker::enable_load_monitor(const std::string& name, Duration interval, Sim
         *last = total;
         set_variable_local(name, rate);
       });
+  monitors_.push_back(handle);
+  return handle;
 }
 
 void Broker::on_message(const Envelope& env) {

@@ -53,6 +53,7 @@ struct BrokerStats {
 class Broker final : public NetworkNode, public EngineHost {
  public:
   Broker(std::string name, Network& net, BrokerConfig config);
+  ~Broker() override;
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -85,7 +86,10 @@ class Broker final : public NetworkNode, public EngineHost {
   /// last interval. Subscriptions can then self-throttle, e.g.
   ///   distance < maxDist * (maxBw - outgoingBw)
   /// matches everything when idle and nothing at full load.
-  void enable_load_monitor(const std::string& name, Duration interval, SimTime until);
+  /// The monitor timer captures this broker; it is cancelled automatically
+  /// when the broker is destroyed (the returned handle allows earlier
+  /// cancellation and may be discarded).
+  TimerHandle enable_load_monitor(const std::string& name, Duration interval, SimTime until);
 
   // --- NetworkNode -----------------------------------------------------------
   void on_message(const Envelope& env) override;
@@ -123,6 +127,9 @@ class Broker final : public NetworkNode, public EngineHost {
   std::unordered_map<SubscriptionId, std::vector<NodeId>> sub_forwards_;
   /// Advertisements with the neighbour they arrived from.
   std::map<MessageId, std::pair<std::shared_ptr<const Advertisement>, NodeId>> adverts_;
+  /// Load-monitor timers; cancelled on destruction so no simulator callback
+  /// outlives the broker it captures.
+  std::vector<TimerHandle> monitors_;
   BrokerStats stats_;
 };
 

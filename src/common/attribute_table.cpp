@@ -1,0 +1,45 @@
+#include "common/attribute_table.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace evps {
+
+AttributeTable& AttributeTable::instance() {
+  static AttributeTable table;
+  return table;
+}
+
+AttrId AttributeTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;  // raced with another intern
+  const auto id = static_cast<AttrId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+AttrId AttributeTable::find(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidAttrId : it->second;
+}
+
+const std::string& AttributeTable::name(AttrId id) const {
+  std::shared_lock lock(mu_);
+  if (id >= names_.size()) throw std::out_of_range("unknown AttrId");
+  return names_[id];
+}
+
+std::size_t AttributeTable::size() const {
+  std::shared_lock lock(mu_);
+  return names_.size();
+}
+
+}  // namespace evps

@@ -1,0 +1,62 @@
+// Process-wide attribute-name interning.
+//
+// Content-based matching touches attribute names on every publication and
+// every indexed predicate. Interning each distinct name once into a dense
+// `AttrId` lets the hot paths replace string-keyed map lookups with flat
+// vector indexing: publications cache the ids of their attributes when they
+// are built, and every matcher keys its per-attribute index by AttrId.
+//
+// The table only ever grows (attribute universes are small and stable — the
+// paper's workloads use a handful of names), so ids are valid for the life
+// of the process and can be stored freely in index structures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace evps {
+
+/// Dense interned attribute id. Sequential from 0 in interning order.
+using AttrId = std::uint32_t;
+
+inline constexpr AttrId kInvalidAttrId = ~AttrId{0};
+
+class AttributeTable {
+ public:
+  /// The process-wide table shared by publications and all matchers.
+  [[nodiscard]] static AttributeTable& instance();
+
+  AttributeTable() = default;
+  AttributeTable(const AttributeTable&) = delete;
+  AttributeTable& operator=(const AttributeTable&) = delete;
+
+  /// Id of `name`, interning it on first sight. Thread-safe.
+  [[nodiscard]] AttrId intern(std::string_view name);
+
+  /// Id of `name`, or kInvalidAttrId if it has never been interned.
+  [[nodiscard]] AttrId find(std::string_view name) const;
+
+  /// Name of an interned id. `id` must come from this table.
+  [[nodiscard]] const std::string& name(AttrId id) const;
+
+  /// Number of distinct names interned so far.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, AttrId, StringHash, std::equal_to<>> ids_;
+  std::deque<std::string> names_;  // stable addresses; index == AttrId
+};
+
+}  // namespace evps

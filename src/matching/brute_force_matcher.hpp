@@ -1,11 +1,13 @@
 // Reference matcher: linear scan over all stored subscriptions.
 //
 // Used as the correctness oracle in property tests and as the baseline in
-// the matcher micro-benchmarks.
+// the matcher micro-benchmarks. Attribute names are interned once on add so
+// the scan probes publications by AttrId instead of comparing strings.
 #pragma once
 
 #include <map>
 
+#include "common/attribute_table.hpp"
 #include "matching/matcher.hpp"
 
 namespace evps {
@@ -21,7 +23,12 @@ class BruteForceMatcher final : public Matcher {
   [[nodiscard]] std::size_t size() const override { return subs_.size(); }
 
  private:
-  std::map<SubscriptionId, std::vector<Predicate>> subs_;
+  struct Stored {
+    std::vector<Predicate> preds;
+    std::vector<AttrId> attr_ids;  // parallel to preds
+  };
+
+  std::map<SubscriptionId, Stored> subs_;
 };
 
 }  // namespace evps

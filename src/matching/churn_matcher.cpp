@@ -6,70 +6,95 @@ namespace evps {
 
 void ChurnMatcher::add(SubscriptionId id, const std::vector<Predicate>& preds) {
   require_static(preds);
-  const auto [it, inserted] = subs_.emplace(id, SubState{preds, {}});
-  if (!inserted) throw std::invalid_argument("duplicate subscription id " + id.str());
-  auto& state = it->second;
-  state.locations.resize(preds.size());
-  for (std::size_t i = 0; i < preds.size(); ++i) {
-    index_predicate(id, static_cast<RefSlot>(i), preds[i], state);
+  if (slot_of_.contains(id)) throw std::invalid_argument("duplicate subscription id " + id.str());
+
+  // Deduplicate identical predicates (see CountingMatcher::add): keeps the
+  // required hit count minimal and predicate_count() consistent across
+  // matcher kinds.
+  std::vector<Predicate> unique;
+  unique.reserve(preds.size());
+  for (const auto& p : preds) {
+    if (std::find(unique.begin(), unique.end(), p) == unique.end()) unique.push_back(p);
   }
-  predicate_count_ += preds.size();
+
+  SubSlot sub;
+  if (!free_slots_.empty()) {
+    sub = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    sub = static_cast<SubSlot>(slots_.size());
+    slots_.emplace_back();
+    stamp_.push_back(0);
+    counts_.push_back(0);
+  }
+  slot_of_.emplace(id, sub);
+  auto& state = slots_[sub];
+  state.id = id;
+  state.preds = std::move(unique);
+  state.locations.resize(state.preds.size());
+  for (std::size_t i = 0; i < state.preds.size(); ++i) {
+    index_predicate(sub, static_cast<RefSlot>(i), state.preds[i], state);
+  }
+  predicate_count_ += state.preds.size();
 }
 
-void ChurnMatcher::index_predicate(SubscriptionId id, RefSlot slot, const Predicate& p,
-                                   SubState& state) {
-  auto& bucket = buckets_[p.attribute()];
+void ChurnMatcher::index_predicate(SubSlot sub, RefSlot slot, const Predicate& p,
+                                   SlotState& state) {
+  const AttrId attr = AttributeTable::instance().intern(p.attribute());
+  if (attr >= buckets_.size()) buckets_.resize(attr + 1);
+  auto& bucket = buckets_[attr];
   Location& loc = state.locations[slot];
-  loc.attr = p.attribute();
+  loc.attr = attr;
   const Value& c = p.constant();
   if (p.op() == RelOp::kEq && !c.is_string()) {
     loc.kind = Location::Kind::kEqNum;
     loc.num_key = *c.numeric();
     auto& list = bucket.eq_num[loc.num_key];
     loc.index = list.size();
-    list.push_back(EqEntry{id, slot});
+    list.push_back(EqEntry{sub, slot});
   } else if (p.op() == RelOp::kEq) {
     loc.kind = Location::Kind::kEqStr;
     loc.str_key = c.as_string();
     auto& list = bucket.eq_str[loc.str_key];
     loc.index = list.size();
-    list.push_back(EqEntry{id, slot});
+    list.push_back(EqEntry{sub, slot});
   } else {
     loc.kind = Location::Kind::kScan;
     loc.index = bucket.scan.size();
-    bucket.scan.push_back(ScanEntry{p.op(), c, id, slot});
+    bucket.scan.push_back(ScanEntry{p.op(), c, sub, slot});
   }
 }
 
 bool ChurnMatcher::remove(SubscriptionId id) {
-  const auto it = subs_.find(id);
-  if (it == subs_.end()) return false;
-  // Detach the state first: unindexing patches *other* subscriptions'
-  // location tables, never this one's (its entries are all being removed).
-  const SubState state = std::move(it->second);
-  subs_.erase(it);
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  const SubSlot sub = it->second;
+  auto& state = slots_[sub];
+  // Unindex with the state left in place: a swap-erase may displace one of
+  // *this* subscription's own not-yet-removed entries, and the patch-up must
+  // then update its location record or the later unindex would erase a wrong
+  // (or already-reused) position.
   for (const auto& loc : state.locations) unindex(loc);
   predicate_count_ -= state.preds.size();
+  state.id = SubscriptionId::invalid();
+  state.preds.clear();
+  state.locations.clear();
+  free_slots_.push_back(sub);
+  slot_of_.erase(it);
   return true;
 }
 
 void ChurnMatcher::unindex(const Location& loc) {
-  const auto bucket_it = buckets_.find(loc.attr);
-  if (bucket_it == buckets_.end()) return;
-  auto& bucket = bucket_it->second;
+  if (loc.attr >= buckets_.size()) return;
+  auto& bucket = buckets_[loc.attr];
 
   // Swap-erase `list[loc.index]`, patching the displaced entry's location.
-  const auto swap_erase = [&](auto& list, auto kind) {
+  const auto swap_erase = [&](auto& list) {
     if (loc.index >= list.size()) return;
     if (loc.index + 1 != list.size()) {
       list[loc.index] = std::move(list.back());
       const auto& moved = list[loc.index];
-      const auto owner = subs_.find(moved.sub);
-      if (owner != subs_.end()) {
-        Location& moved_loc = owner->second.locations[moved.ref];
-        (void)kind;
-        moved_loc.index = loc.index;
-      }
+      slots_[moved.sub].locations[moved.ref].index = loc.index;
     }
     list.pop_back();
   };
@@ -78,34 +103,51 @@ void ChurnMatcher::unindex(const Location& loc) {
     case Location::Kind::kEqNum: {
       const auto list_it = bucket.eq_num.find(loc.num_key);
       if (list_it == bucket.eq_num.end()) return;
-      swap_erase(list_it->second, loc.kind);
+      swap_erase(list_it->second);
       if (list_it->second.empty()) bucket.eq_num.erase(list_it);
       break;
     }
     case Location::Kind::kEqStr: {
       const auto list_it = bucket.eq_str.find(loc.str_key);
       if (list_it == bucket.eq_str.end()) return;
-      swap_erase(list_it->second, loc.kind);
+      swap_erase(list_it->second);
       if (list_it->second.empty()) bucket.eq_str.erase(list_it);
       break;
     }
     case Location::Kind::kScan:
-      swap_erase(bucket.scan, loc.kind);
+      swap_erase(bucket.scan);
       break;
   }
-  if (bucket.empty()) buckets_.erase(bucket_it);
 }
 
 void ChurnMatcher::match(const Publication& pub, std::vector<SubscriptionId>& out) const {
-  if (subs_.empty() || pub.empty()) return;
-  std::unordered_map<SubscriptionId, std::uint32_t> counts;
-  counts.reserve(64);
-  const auto hit = [&](SubscriptionId id) { ++counts[id]; };
+  if (slot_of_.empty() || pub.empty()) return;
 
-  for (const auto& [attr, value] : pub.attributes()) {
-    const auto it = buckets_.find(attr);
-    if (it == buckets_.end()) continue;
-    const auto& bucket = it->second;
+  if (++epoch_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  touched_.clear();
+
+  const std::uint32_t epoch = epoch_;
+  auto* const stamp = stamp_.data();
+  auto* const counts = counts_.data();
+  const auto hit = [&](SubSlot sub) {
+    if (stamp[sub] != epoch) {
+      stamp[sub] = epoch;
+      counts[sub] = 1;
+      touched_.push_back(sub);
+    } else {
+      ++counts[sub];
+    }
+  };
+
+  const auto& ids = pub.attribute_ids();
+  const auto& attrs = pub.attributes();
+  for (std::size_t a = 0; a < ids.size(); ++a) {
+    if (ids[a] >= buckets_.size()) continue;
+    const auto& bucket = buckets_[ids[a]];
+    const Value& value = attrs[a].second;
     if (const auto num = value.numeric()) {
       if (const auto eq = bucket.eq_num.find(*num); eq != bucket.eq_num.end()) {
         for (const auto& entry : eq->second) hit(entry.sub);
@@ -120,9 +162,9 @@ void ChurnMatcher::match(const Publication& pub, std::vector<SubscriptionId>& ou
   }
 
   const std::size_t first_new = out.size();
-  for (const auto& [id, count] : counts) {
-    const auto sub_it = subs_.find(id);
-    if (sub_it != subs_.end() && count == sub_it->second.preds.size()) out.push_back(id);
+  for (const auto sub : touched_) {
+    const auto& state = slots_[sub];
+    if (counts[sub] == state.preds.size()) out.push_back(state.id);
   }
   std::sort(out.begin() + static_cast<std::ptrdiff_t>(first_new), out.end());
 }

@@ -7,14 +7,16 @@
 // matcher remove+insert per evolution, so insert/remove cost dominates its
 // maintenance overhead.
 //
-// Design: per attribute, *unordered* predicate buckets (equality hashed,
-// everything else in a flat scan list). Every indexed entry carries a
-// back-reference into its subscription's location table, so removal is a
-// swap-erase plus one index patch-up for the displaced entry — O(1) per
-// predicate regardless of the resident population. Matching scans the
-// buckets of the publication's attributes and counts satisfied predicates
-// per subscription — linear in the per-attribute predicate population, like
-// LEES's scan, but with no sorted-structure maintenance at all.
+// Design: per attribute (interned AttrId, flat vector of buckets),
+// *unordered* predicate buckets (equality hashed, everything else in a flat
+// scan list). Every indexed entry carries a back-reference into its
+// subscription's location table, so removal is a swap-erase plus one index
+// patch-up for the displaced entry — O(1) per predicate regardless of the
+// resident population. Matching scans the buckets of the publication's
+// attributes and counts satisfied predicates per subscription in an
+// epoch-stamped dense counter array (shared scheme with CountingMatcher) —
+// linear in the per-attribute predicate population, like LEES's scan, but
+// with no sorted-structure maintenance and no per-match allocation.
 //
 // Compare with CountingMatcher: sorted bound lists give cheaper matching
 // but O(n) insert/remove. The micro benchmarks (micro_matcher) and the VES
@@ -22,11 +24,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/attribute_table.hpp"
 #include "matching/matcher.hpp"
 
 namespace evps {
@@ -38,24 +40,26 @@ class ChurnMatcher final : public Matcher {
   void add(SubscriptionId id, const std::vector<Predicate>& preds) override;
   bool remove(SubscriptionId id) override;
   void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
-  [[nodiscard]] bool contains(SubscriptionId id) const override { return subs_.contains(id); }
-  [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+  [[nodiscard]] bool contains(SubscriptionId id) const override { return slot_of_.contains(id); }
+  [[nodiscard]] std::size_t size() const override { return slot_of_.size(); }
 
   [[nodiscard]] std::size_t predicate_count() const noexcept { return predicate_count_; }
 
  private:
+  /// Dense per-matcher subscription slot (index into slots_ / counters).
+  using SubSlot = std::uint32_t;
   /// Index of the predicate within its subscription: identifies the
   /// location-table slot an indexed entry must patch on swap-erase.
   using RefSlot = std::uint32_t;
 
   struct EqEntry {
-    SubscriptionId sub;
+    SubSlot sub;
     RefSlot ref;
   };
   struct ScanEntry {
     RelOp op;
     Value operand;
-    SubscriptionId sub;
+    SubSlot sub;
     RefSlot ref;
   };
 
@@ -72,24 +76,36 @@ class ChurnMatcher final : public Matcher {
   /// Where one predicate of one subscription currently lives.
   struct Location {
     enum class Kind : std::uint8_t { kEqNum, kEqStr, kScan };
-    std::string attr;
+    AttrId attr = kInvalidAttrId;
     Kind kind = Kind::kScan;
     double num_key = 0;
     std::string str_key;
     std::size_t index = 0;  // position in the eq list / scan list
   };
 
-  struct SubState {
+  struct SlotState {
+    SubscriptionId id;               // invalid while the slot is free
     std::vector<Predicate> preds;
     std::vector<Location> locations;  // one per predicate
   };
 
-  void index_predicate(SubscriptionId id, RefSlot slot, const Predicate& p, SubState& state);
+  void index_predicate(SubSlot sub, RefSlot slot, const Predicate& p, SlotState& state);
   void unindex(const Location& loc);
 
-  std::map<std::string, AttributeBucket, std::less<>> buckets_;
-  std::unordered_map<SubscriptionId, SubState> subs_;
+  /// Per-attribute buckets keyed by interned AttrId. Never shrinks; empty
+  /// buckets are skipped during matching.
+  std::vector<AttributeBucket> buckets_;
+
+  std::vector<SlotState> slots_;
+  std::vector<SubSlot> free_slots_;
+  std::unordered_map<SubscriptionId, SubSlot> slot_of_;
   std::size_t predicate_count_ = 0;
+
+  // Epoch-stamped match scratch (see CountingMatcher for the scheme).
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::vector<std::uint32_t> counts_;
+  mutable std::vector<SubSlot> touched_;
+  mutable std::uint32_t epoch_ = 0;
 };
 
 }  // namespace evps

@@ -9,43 +9,73 @@ namespace evps {
 
 void CountingMatcher::add(SubscriptionId id, const std::vector<Predicate>& preds) {
   require_static(preds);
-  const auto [it, inserted] = subs_.emplace(id, preds);
-  if (!inserted) throw std::invalid_argument("duplicate subscription id " + id.str());
-  for (const auto& p : preds) index_predicate(id, p);
-  predicate_count_ += preds.size();
+  if (slot_of_.contains(id)) throw std::invalid_argument("duplicate subscription id " + id.str());
+
+  // Deduplicate identical predicates: conjunctively redundant, and indexing
+  // copies would leave stale entries on remove (each index list stores one
+  // occurrence per unique (attr, op, operand) triple per subscription).
+  std::vector<Predicate> unique;
+  unique.reserve(preds.size());
+  for (const auto& p : preds) {
+    if (std::find(unique.begin(), unique.end(), p) == unique.end()) unique.push_back(p);
+  }
+
+  SubSlot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<SubSlot>(slots_.size());
+    slots_.emplace_back();
+    stamp_.push_back(0);
+    counts_.push_back(0);
+  }
+  slot_of_.emplace(id, slot);
+  slots_[slot].id = id;
+  slots_[slot].preds = std::move(unique);
+  for (const auto& p : slots_[slot].preds) index_predicate(slot, p);
+  predicate_count_ += slots_[slot].preds.size();
 }
 
 bool CountingMatcher::remove(SubscriptionId id) {
-  const auto it = subs_.find(id);
-  if (it == subs_.end()) return false;
-  for (const auto& p : it->second) unindex_predicate(id, p);
-  predicate_count_ -= it->second.size();
-  subs_.erase(it);
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  const SubSlot slot = it->second;
+  auto& state = slots_[slot];
+  for (const auto& p : state.preds) unindex_predicate(slot, p);
+  predicate_count_ -= state.preds.size();
+  state.id = SubscriptionId::invalid();
+  state.preds.clear();
+  state.preds.shrink_to_fit();
+  free_slots_.push_back(slot);
+  slot_of_.erase(it);
   return true;
 }
 
-void CountingMatcher::index_predicate(SubscriptionId id, const Predicate& p) {
-  auto& idx = index_[p.attribute()];
+void CountingMatcher::index_predicate(SubSlot slot, const Predicate& p) {
+  const AttrId attr = AttributeTable::instance().intern(p.attribute());
+  if (attr >= index_.size()) index_.resize(attr + 1);
+  auto& idx = index_[attr];
   const Value& c = p.constant();
   if (p.op() == RelOp::kEq) {
     if (c.is_string()) {
-      idx.eq_str[c.as_string()].push_back(id);
+      idx.eq_str[c.as_string()].push_back(slot);
     } else {
-      idx.eq_num[*c.numeric()].push_back(id);
+      idx.eq_num[*c.numeric()].push_back(slot);
     }
     return;
   }
   if (p.op() == RelOp::kNe) {
-    idx.ne.emplace_back(c, id);
+    idx.ne.emplace_back(c, slot);
     return;
   }
   if (c.is_string()) {
-    idx.misc.emplace_back(p, id);
+    idx.misc.emplace_back(p, slot);
     return;
   }
   const double bound = *c.numeric();
   auto insert_sorted = [&](std::vector<BoundEntry>& list) {
-    const BoundEntry entry{bound, id};
+    const BoundEntry entry{bound, slot};
     list.insert(std::upper_bound(list.begin(), list.end(), entry), entry);
   };
   switch (p.op()) {
@@ -57,17 +87,17 @@ void CountingMatcher::index_predicate(SubscriptionId id, const Predicate& p) {
   }
 }
 
-void CountingMatcher::unindex_predicate(SubscriptionId id, const Predicate& p) {
-  const auto idx_it = index_.find(p.attribute());
-  if (idx_it == index_.end()) return;
-  auto& idx = idx_it->second;
+void CountingMatcher::unindex_predicate(SubSlot slot, const Predicate& p) {
+  AttributeIndex* idx_ptr = find_index(AttributeTable::instance().find(p.attribute()));
+  if (idx_ptr == nullptr) return;
+  auto& idx = *idx_ptr;
   const Value& c = p.constant();
 
   auto erase_from_list = [&](auto& map, const auto& key) {
     const auto it = map.find(key);
     if (it == map.end()) return;
     auto& v = it->second;
-    const auto pos = std::find(v.begin(), v.end(), id);
+    const auto pos = std::find(v.begin(), v.end(), slot);
     if (pos != v.end()) v.erase(pos);
     if (v.empty()) map.erase(it);
   };
@@ -80,16 +110,16 @@ void CountingMatcher::unindex_predicate(SubscriptionId id, const Predicate& p) {
     }
   } else if (p.op() == RelOp::kNe) {
     const auto pos = std::find_if(idx.ne.begin(), idx.ne.end(),
-                                  [&](const auto& e) { return e.second == id && e.first == c; });
+                                  [&](const auto& e) { return e.second == slot && e.first == c; });
     if (pos != idx.ne.end()) idx.ne.erase(pos);
   } else if (c.is_string()) {
     const auto pos = std::find_if(idx.misc.begin(), idx.misc.end(),
-                                  [&](const auto& e) { return e.second == id && e.first == p; });
+                                  [&](const auto& e) { return e.second == slot && e.first == p; });
     if (pos != idx.misc.end()) idx.misc.erase(pos);
   } else {
     const double bound = *c.numeric();
     auto erase_sorted = [&](std::vector<BoundEntry>& list) {
-      const BoundEntry entry{bound, id};
+      const BoundEntry entry{bound, slot};
       const auto range = std::equal_range(list.begin(), list.end(), entry);
       if (range.first != range.second) list.erase(range.first);
     };
@@ -101,20 +131,39 @@ void CountingMatcher::unindex_predicate(SubscriptionId id, const Predicate& p) {
       default: break;
     }
   }
-  if (idx.empty()) index_.erase(idx_it);
 }
 
 void CountingMatcher::match(const Publication& pub, std::vector<SubscriptionId>& out) const {
-  if (subs_.empty() || pub.empty()) return;
-  std::unordered_map<SubscriptionId, std::uint32_t> counts;
-  counts.reserve(64);
+  if (slot_of_.empty() || pub.empty()) return;
 
-  const auto hit = [&](SubscriptionId id) { ++counts[id]; };
+  // Open a new counting epoch; stale counters from previous matches are
+  // invalidated by their stamp, never cleared. On the (rare) epoch wrap every
+  // stamp is reset so no old stamp can alias the new epoch.
+  if (++epoch_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  touched_.clear();
 
-  for (const auto& [attr, value] : pub.attributes()) {
-    const auto idx_it = index_.find(attr);
-    if (idx_it == index_.end()) continue;
-    const auto& idx = idx_it->second;
+  const std::uint32_t epoch = epoch_;
+  auto* const stamp = stamp_.data();
+  auto* const counts = counts_.data();
+  const auto hit = [&](SubSlot slot) {
+    if (stamp[slot] != epoch) {
+      stamp[slot] = epoch;
+      counts[slot] = 1;
+      touched_.push_back(slot);
+    } else {
+      ++counts[slot];
+    }
+  };
+
+  const auto& ids = pub.attribute_ids();
+  const auto& attrs = pub.attributes();
+  for (std::size_t a = 0; a < ids.size(); ++a) {
+    if (ids[a] >= index_.size()) continue;
+    const auto& idx = index_[ids[a]];
+    const Value& value = attrs[a].second;
 
     if (const auto num = value.numeric()) {
       const double v = *num;
@@ -122,46 +171,46 @@ void CountingMatcher::match(const Publication& pub, std::vector<SubscriptionId>&
       {
         auto pos = std::upper_bound(idx.lt.begin(), idx.lt.end(), v,
                                     [](double x, const BoundEntry& e) { return x < e.bound; });
-        for (; pos != idx.lt.end(); ++pos) hit(pos->sub);
+        for (; pos != idx.lt.end(); ++pos) hit(pos->slot);
       }
       // pub <= bound: all bounds >= v.
       {
         auto pos = std::lower_bound(idx.le.begin(), idx.le.end(), v,
                                     [](const BoundEntry& e, double x) { return e.bound < x; });
-        for (; pos != idx.le.end(); ++pos) hit(pos->sub);
+        for (; pos != idx.le.end(); ++pos) hit(pos->slot);
       }
       // pub > bound: all bounds strictly less than v.
       {
         const auto end = std::lower_bound(idx.gt.begin(), idx.gt.end(), v,
                                           [](const BoundEntry& e, double x) { return e.bound < x; });
-        for (auto pos = idx.gt.begin(); pos != end; ++pos) hit(pos->sub);
+        for (auto pos = idx.gt.begin(); pos != end; ++pos) hit(pos->slot);
       }
       // pub >= bound: all bounds <= v.
       {
         const auto end = std::upper_bound(idx.ge.begin(), idx.ge.end(), v,
                                           [](double x, const BoundEntry& e) { return x < e.bound; });
-        for (auto pos = idx.ge.begin(); pos != end; ++pos) hit(pos->sub);
+        for (auto pos = idx.ge.begin(); pos != end; ++pos) hit(pos->slot);
       }
       if (const auto eq = idx.eq_num.find(v); eq != idx.eq_num.end()) {
-        for (const auto id : eq->second) hit(id);
+        for (const auto slot : eq->second) hit(slot);
       }
     } else {
       if (const auto eq = idx.eq_str.find(value.as_string()); eq != idx.eq_str.end()) {
-        for (const auto id : eq->second) hit(id);
+        for (const auto slot : eq->second) hit(slot);
       }
     }
-    for (const auto& [operand, id] : idx.ne) {
-      if (apply_rel_op(RelOp::kNe, value, operand)) hit(id);
+    for (const auto& [operand, slot] : idx.ne) {
+      if (apply_rel_op(RelOp::kNe, value, operand)) hit(slot);
     }
-    for (const auto& [pred, id] : idx.misc) {
-      if (pred.matches(value)) hit(id);
+    for (const auto& [pred, slot] : idx.misc) {
+      if (pred.matches(value)) hit(slot);
     }
   }
 
   const std::size_t first_new = out.size();
-  for (const auto& [id, count] : counts) {
-    const auto sub_it = subs_.find(id);
-    if (sub_it != subs_.end() && count == sub_it->second.size()) out.push_back(id);
+  for (const auto slot : touched_) {
+    const auto& state = slots_[slot];
+    if (counts[slot] == state.preds.size()) out.push_back(state.id);
   }
   std::sort(out.begin() + static_cast<std::ptrdiff_t>(first_new), out.end());
 }

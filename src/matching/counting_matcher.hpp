@@ -6,10 +6,20 @@
 // per subscription. A subscription matches when its hit count equals its
 // predicate count.
 //
-// Index structure per attribute:
+// Index structure per attribute (attributes interned to dense AttrId, so the
+// top level is a flat vector, not a string-keyed map):
 //   * four sorted bound lists for < <= > >= (binary search + contiguous walk)
 //   * hash maps for numeric and string equality
 //   * scan lists for != and for ordered string comparisons
+//
+// Subscriptions occupy dense slots; hit counting uses an epoch-stamped
+// counter array (a generation stamp marks a slot's counter valid for the
+// current match, so nothing is cleared between matches) and all scratch is
+// per-matcher, making match() allocation-free in steady state.
+//
+// Identical predicates within one subscription are deduplicated on add: they
+// are redundant for conjunctive semantics and would otherwise leave stale
+// index entries behind on remove (the duplicate-predicate leak).
 //
 // Insertion/removal into the sorted lists is O(n) per attribute — this is
 // the "optimized indexing structure" whose maintenance cost the paper's VES
@@ -17,11 +27,12 @@
 // replacement cost grows with the matcher population.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/attribute_table.hpp"
 #include "matching/matcher.hpp"
 
 namespace evps {
@@ -33,31 +44,36 @@ class CountingMatcher final : public Matcher {
   void add(SubscriptionId id, const std::vector<Predicate>& preds) override;
   bool remove(SubscriptionId id) override;
   void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
-  [[nodiscard]] bool contains(SubscriptionId id) const override { return subs_.contains(id); }
-  [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+  [[nodiscard]] bool contains(SubscriptionId id) const override { return slot_of_.contains(id); }
+  [[nodiscard]] std::size_t size() const override { return slot_of_.size(); }
 
-  /// Total number of indexed predicates (diagnostics).
+  /// Total number of indexed predicates (diagnostics). Duplicate predicates
+  /// within a subscription are deduplicated on add and not counted.
   [[nodiscard]] std::size_t predicate_count() const noexcept { return predicate_count_; }
 
  private:
+  /// Dense per-matcher subscription slot; index into slots_ and the epoch
+  /// counter arrays. Slots are recycled through a free list on remove.
+  using SubSlot = std::uint32_t;
+
   struct BoundEntry {
     double bound;
-    SubscriptionId sub;
+    SubSlot slot;
 
     friend bool operator<(const BoundEntry& a, const BoundEntry& b) noexcept {
       if (a.bound != b.bound) return a.bound < b.bound;
-      return a.sub < b.sub;
+      return a.slot < b.slot;
     }
   };
 
   struct AttributeIndex {
     // pub_value OP bound; sorted ascending by bound.
     std::vector<BoundEntry> lt, le, gt, ge;
-    std::unordered_map<double, std::vector<SubscriptionId>> eq_num;
-    std::unordered_map<std::string, std::vector<SubscriptionId>> eq_str;
-    std::vector<std::pair<Value, SubscriptionId>> ne;
+    std::unordered_map<double, std::vector<SubSlot>> eq_num;
+    std::unordered_map<std::string, std::vector<SubSlot>> eq_str;
+    std::vector<std::pair<Value, SubSlot>> ne;
     // Ordered string comparisons (rare): evaluated by scan.
-    std::vector<std::pair<Predicate, SubscriptionId>> misc;
+    std::vector<std::pair<Predicate, SubSlot>> misc;
 
     [[nodiscard]] bool empty() const noexcept {
       return lt.empty() && le.empty() && gt.empty() && ge.empty() && eq_num.empty() &&
@@ -65,12 +81,33 @@ class CountingMatcher final : public Matcher {
     }
   };
 
-  void index_predicate(SubscriptionId id, const Predicate& p);
-  void unindex_predicate(SubscriptionId id, const Predicate& p);
+  struct SlotState {
+    SubscriptionId id;               // invalid while the slot is free
+    std::vector<Predicate> preds;    // deduplicated
+  };
 
-  std::map<std::string, AttributeIndex, std::less<>> index_;
-  std::unordered_map<SubscriptionId, std::vector<Predicate>> subs_;
+  void index_predicate(SubSlot slot, const Predicate& p);
+  void unindex_predicate(SubSlot slot, const Predicate& p);
+  [[nodiscard]] AttributeIndex* find_index(AttrId attr) noexcept {
+    return attr < index_.size() ? &index_[attr] : nullptr;
+  }
+
+  /// Per-attribute indexes, keyed by interned AttrId. Grows monotonically
+  /// with the attribute universe; empty entries cost one AttributeIndex.
+  std::vector<AttributeIndex> index_;
+
+  std::vector<SlotState> slots_;       // slot -> subscription state
+  std::vector<SubSlot> free_slots_;    // recycled slots
+  std::unordered_map<SubscriptionId, SubSlot> slot_of_;
   std::size_t predicate_count_ = 0;
+
+  // Epoch-stamped match scratch: counts_[s] is valid iff stamp_[s] ==
+  // epoch_, so no per-match clearing. Engine operations are serialised per
+  // matcher (see realtime_host), so mutable scratch in const match() is safe.
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::vector<std::uint32_t> counts_;
+  mutable std::vector<SubSlot> touched_;
+  mutable std::uint32_t epoch_ = 0;
 };
 
 }  // namespace evps

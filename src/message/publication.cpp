@@ -11,7 +11,10 @@ Publication& Publication::set(std::string_view name, Value value) {
   if (pos != attrs_.end() && pos->first == name) {
     pos->second = std::move(value);
   } else {
+    const auto idx = static_cast<std::size_t>(pos - attrs_.begin());
     attrs_.emplace(pos, std::string(name), std::move(value));
+    attr_ids_.insert(attr_ids_.begin() + static_cast<std::ptrdiff_t>(idx),
+                     AttributeTable::instance().intern(name));
   }
   return *this;
 }

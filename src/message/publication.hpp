@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/attribute_table.hpp"
 #include "common/ids.hpp"
 #include "common/sim_time.hpp"
 #include "common/value.hpp"
@@ -30,9 +31,23 @@ class Publication {
   /// Value of `name`, or nullptr if absent.
   [[nodiscard]] const Value* get(std::string_view name) const noexcept;
 
+  /// Value of the attribute with interned id `id`, or nullptr if absent.
+  /// Publications are small, so a linear scan over the cached ids beats a
+  /// binary search on names (and never compares strings).
+  [[nodiscard]] const Value* get(AttrId id) const noexcept {
+    for (std::size_t i = 0; i < attr_ids_.size(); ++i) {
+      if (attr_ids_[i] == id) return &attrs_[i].second;
+    }
+    return nullptr;
+  }
+
   [[nodiscard]] bool has(std::string_view name) const noexcept { return get(name) != nullptr; }
 
   [[nodiscard]] const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+
+  /// Interned ids of the attributes, parallel to attributes(). Cached when
+  /// the publication is built so matchers never hash attribute names.
+  [[nodiscard]] const std::vector<AttrId>& attribute_ids() const noexcept { return attr_ids_; }
   [[nodiscard]] std::size_t size() const noexcept { return attrs_.size(); }
   [[nodiscard]] bool empty() const noexcept { return attrs_.empty(); }
 
@@ -55,6 +70,7 @@ class Publication {
 
  private:
   std::vector<Attribute> attrs_;
+  std::vector<AttrId> attr_ids_;  // parallel to attrs_
   MessageId id_{};
   ClientId publisher_{};
   SimTime entry_time_{};

@@ -11,13 +11,32 @@ void Simulator::at(SimTime t, Action fn) {
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 
-void Simulator::every(SimTime first, Duration period, SimTime until,
-                      std::function<void(SimTime)> fn) {
+TimerHandle Simulator::every(SimTime first, Duration period, SimTime until,
+                             std::function<void(SimTime)> fn) {
   if (period <= Duration::zero()) throw std::invalid_argument("period must be positive");
-  if (first >= until) return;
-  at(first, [this, first, period, until, fn = std::move(fn)]() {
-    fn(first);
-    every(first + period, period, until, fn);
+  auto alive = std::make_shared<bool>(true);
+  if (first >= until) {
+    *alive = false;
+    return TimerHandle{alive};
+  }
+  TimerHandle handle{alive};
+  schedule_occurrence(first, period, until, std::move(fn), std::move(alive));
+  return handle;
+}
+
+void Simulator::schedule_occurrence(SimTime when, Duration period, SimTime until,
+                                    std::function<void(SimTime)> fn,
+                                    std::shared_ptr<bool> alive) {
+  at(when, [this, when, period, until, fn = std::move(fn), alive = std::move(alive)]() mutable {
+    if (!*alive) return;  // cancelled while queued
+    fn(when);
+    if (!*alive) return;  // fn cancelled its own timer
+    const SimTime next = when + period;
+    if (next >= until) {
+      *alive = false;  // expired: handles report inactive
+      return;
+    }
+    schedule_occurrence(next, period, until, std::move(fn), std::move(alive));
   });
 }
 

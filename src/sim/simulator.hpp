@@ -8,12 +8,33 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "common/sim_time.hpp"
 
 namespace evps {
+
+/// Cancellation handle for a recurring timer created with Simulator::every.
+/// Copyable; all copies refer to the same timer. cancel() prevents any
+/// future firing (an already-queued occurrence becomes a no-op), so owners
+/// whose callbacks capture raw pointers can sever them on destruction.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+  /// True while the timer can still fire (never cancelled and not expired).
+  [[nodiscard]] bool active() const noexcept { return alive_ != nullptr && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::shared_ptr<bool> alive) noexcept : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
 
 class Simulator {
  public:
@@ -32,9 +53,10 @@ class Simulator {
   void after(Duration d, Action fn) { at(now_ + d, std::move(fn)); }
 
   /// Schedule `fn` every `period` starting at `first`, until `until`
-  /// (exclusive). `fn` receives the firing time.
-  void every(SimTime first, Duration period, SimTime until,
-             std::function<void(SimTime)> fn);
+  /// (exclusive). `fn` receives the firing time. The returned handle cancels
+  /// all future firings; it may be discarded if cancellation is not needed.
+  TimerHandle every(SimTime first, Duration period, SimTime until,
+                    std::function<void(SimTime)> fn);
 
   /// Execute the next event, advancing the clock. Returns false when the
   /// queue is empty.
@@ -53,6 +75,9 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
+  void schedule_occurrence(SimTime when, Duration period, SimTime until,
+                           std::function<void(SimTime)> fn, std::shared_ptr<bool> alive);
+
   struct Event {
     SimTime time;
     std::uint64_t seq;

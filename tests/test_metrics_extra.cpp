@@ -150,5 +150,34 @@ TEST_F(LoadMonitorTest, SelfThrottlingSubscription) {
   EXPECT_EQ(sub->deliveries().size(), during_load + 1);
 }
 
+TEST(LoadMonitorLifetime, DestroyedBrokerCancelsItsMonitor) {
+  // Regression: the monitor callback captures the broker by raw pointer; a
+  // broker destroyed before `until` used to leave a dangling recurring
+  // callback in the simulator queue.
+  Simulator sim;
+  Network net{sim};
+  {
+    Broker doomed{"doomed", net, BrokerConfig{}};
+    doomed.enable_load_monitor("outRate", Duration::seconds(1.0), sec(100));
+    sim.run_until(sec(2.5));  // fires while alive
+    EXPECT_TRUE(doomed.variables().get("outRate").has_value());
+  }
+  // ~97 occurrences were still due; they must all be dead now.
+  sim.run_all();
+  EXPECT_EQ(sim.now(), sec(3));  // only the already-queued (no-op) event remained
+}
+
+TEST(LoadMonitorLifetime, ReturnedHandleCancelsEarly) {
+  Simulator sim;
+  Network net{sim};
+  Broker broker{"b", net, BrokerConfig{}};
+  auto handle = broker.enable_load_monitor("outRate", Duration::seconds(1.0), sec(100));
+  EXPECT_TRUE(handle.active());
+  sim.run_until(sec(1.5));
+  handle.cancel();
+  sim.run_all();
+  EXPECT_LT(sim.now(), sec(3));  // no further occurrences were scheduled
+}
+
 }  // namespace
 }  // namespace evps

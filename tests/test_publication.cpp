@@ -74,5 +74,30 @@ TEST(Publication, ToString) {
   EXPECT_EQ(pub.to_string(), "{action = 'pickup'; x = 4}");
 }
 
+TEST(Publication, CachesInternedAttributeIds) {
+  Publication pub;
+  pub.set("zebra", 1).set("apple", 2).set("apple", 3);
+  const auto& ids = pub.attribute_ids();
+  ASSERT_EQ(ids.size(), pub.attributes().size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], AttributeTable::instance().find(pub.attributes()[i].first));
+    EXPECT_EQ(AttributeTable::instance().name(ids[i]), pub.attributes()[i].first);
+  }
+  EXPECT_EQ(pub.get(ids[0])->as_int(), 3);  // "apple", overwritten
+  EXPECT_EQ(pub.get(kInvalidAttrId), nullptr);
+}
+
+TEST(AttributeTable, InternIsIdempotentAndDense) {
+  auto& table = AttributeTable::instance();
+  const AttrId a = table.intern("attr_table_test_a");
+  EXPECT_EQ(table.intern("attr_table_test_a"), a);
+  EXPECT_EQ(table.find("attr_table_test_a"), a);
+  const AttrId b = table.intern("attr_table_test_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.name(a), "attr_table_test_a");
+  EXPECT_EQ(table.find("attr_table_test_never_interned"), kInvalidAttrId);
+  EXPECT_GE(table.size(), 2u);
+}
+
 }  // namespace
 }  // namespace evps

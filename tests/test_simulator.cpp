@@ -103,6 +103,40 @@ TEST(Simulator, EveryRejectsNonPositivePeriod) {
                std::invalid_argument);
 }
 
+TEST(Simulator, EveryCancelStopsFutureFirings) {
+  Simulator sim;
+  int count = 0;
+  auto handle = sim.every(sec(1), Duration::seconds(1), sec(100), [&](SimTime) { ++count; });
+  EXPECT_TRUE(handle.active());
+  sim.run_until(sec(3.5));
+  EXPECT_EQ(count, 3);
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  sim.run_all();
+  EXPECT_EQ(count, 3);  // the queued occurrence became a no-op
+}
+
+TEST(Simulator, EveryHandleExpiresAtUntil) {
+  Simulator sim;
+  auto handle = sim.every(sec(1), Duration::seconds(1), sec(3), [](SimTime) {});
+  EXPECT_TRUE(handle.active());
+  sim.run_all();
+  EXPECT_FALSE(handle.active());
+  // A handle for an already-empty window is born inactive.
+  EXPECT_FALSE(sim.every(sec(5), Duration::seconds(1), sec(5), [](SimTime) {}).active());
+}
+
+TEST(Simulator, EveryCallbackMayCancelItself) {
+  Simulator sim;
+  TimerHandle handle;
+  int count = 0;
+  handle = sim.every(sec(1), Duration::seconds(1), sec(100), [&](SimTime) {
+    if (++count == 2) handle.cancel();
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 2);
+}
+
 TEST(Simulator, ReentrantSchedulingDuringEvent) {
   Simulator sim;
   int chain = 0;
