@@ -12,9 +12,20 @@ endfunction()
 
 # Google-benchmark micro benches; each defines its own main() (see
 # bench/gbench_main.hpp) so results are dumped to BENCH_*.json by default.
+#
+# Each micro bench also registers a `bench_smoke_<name>` ctest entry that runs
+# every benchmark for a minimal time, so CI catches benches that crash or
+# assert without paying for a full measurement run. Extra arguments are
+# forwarded to the binary (e.g. a --benchmark_filter excluding slow cases).
 function(evps_gbench name)
   evps_bench(${name})
   target_link_libraries(${name} PRIVATE benchmark::benchmark)
+  add_test(NAME bench_smoke_${name}
+    COMMAND ${name} --benchmark_min_time=0.01
+      --benchmark_out=${CMAKE_BINARY_DIR}/bench/SMOKE_${name}.json
+      --benchmark_out_format=json ${ARGN}
+    WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  set_tests_properties(bench_smoke_${name} PROPERTIES LABELS bench-smoke)
 endfunction()
 
 evps_bench(fig6_traffic)
@@ -27,5 +38,6 @@ evps_bench(table1_summary)
 evps_bench(ablation_hybrid)
 evps_bench(ablation_matcher)
 evps_gbench(micro_expr)
-evps_gbench(micro_matcher)
+# The 100k-subscription fill alone takes ~15s; keep it out of the smoke run.
+evps_gbench(micro_matcher --benchmark_filter=-BM_LargePopulationMatch.*)
 evps_gbench(micro_engines)

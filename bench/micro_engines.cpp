@@ -84,9 +84,9 @@ void engine_match_bench(benchmark::State& state, EngineKind kind) {
 void BM_VesMatch(benchmark::State& state) { engine_match_bench(state, EngineKind::kVes); }
 void BM_LeesMatch(benchmark::State& state) { engine_match_bench(state, EngineKind::kLees); }
 void BM_CleesMatch(benchmark::State& state) { engine_match_bench(state, EngineKind::kClees); }
-BENCHMARK(BM_VesMatch)->Arg(100)->Arg(1000)->Arg(5000);
-BENCHMARK(BM_LeesMatch)->Arg(100)->Arg(1000)->Arg(5000);
-BENCHMARK(BM_CleesMatch)->Arg(100)->Arg(1000)->Arg(5000);
+BENCHMARK(BM_VesMatch)->Arg(100)->Arg(1000)->Arg(5000)->Arg(10000);
+BENCHMARK(BM_LeesMatch)->Arg(100)->Arg(1000)->Arg(5000)->Arg(10000);
+BENCHMARK(BM_CleesMatch)->Arg(100)->Arg(1000)->Arg(5000)->Arg(10000);
 
 void BM_VesEvolutionRound(benchmark::State& state) {
   // One full evolution round (every subscription re-materialised) with the

@@ -142,9 +142,8 @@ void Broker::handle_publish(PublishMsg msg, NodeId from) {
     msg.pub.set_entry_time(now());
     if (config_.snapshot_consistency) {
       auto snapshot = std::make_shared<VariableSnapshot>();
-      for (const auto& name : registry_.names()) {
-        if (const auto v = registry_.get(name)) snapshot->emplace(name, *v);
-      }
+      registry_.for_each_latest(
+          [&snapshot](VarId var, double value) { snapshot->emplace(var, value); });
       msg.snapshot = std::move(snapshot);
     }
   }

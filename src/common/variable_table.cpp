@@ -1,0 +1,50 @@
+#include "common/variable_table.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace evps {
+
+VariableTable& VariableTable::instance() {
+  static VariableTable table;
+  return table;
+}
+
+VarId VariableTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;  // raced with another intern
+  const auto id = static_cast<VarId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+VarId VariableTable::find(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidVarId : it->second;
+}
+
+const std::string& VariableTable::name(VarId id) const {
+  std::shared_lock lock(mu_);
+  if (id >= names_.size()) throw std::out_of_range("unknown VarId");
+  return names_[id];
+}
+
+std::size_t VariableTable::size() const {
+  std::shared_lock lock(mu_);
+  return names_.size();
+}
+
+VarId elapsed_time_var_id() {
+  static const VarId id = VariableTable::instance().intern("t");
+  return id;
+}
+
+}  // namespace evps

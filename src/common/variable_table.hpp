@@ -1,0 +1,70 @@
+// Process-wide evolution-variable interning.
+//
+// Evolving predicates reference evolution variables by name in the wire
+// format and the AST, but every per-publication evaluation (LEES/CLEES lazy
+// evaluation, VES version refresh) resolves those names against the broker's
+// VariableRegistry. Interning each distinct variable name once into a dense
+// `VarId` lets the evaluation hot path work entirely on integers: compiled
+// expression programs carry pre-resolved VarIds, registries store histories
+// in a flat vector, and evaluation scopes are dense slot arrays.
+//
+// Like AttributeTable, the table only ever grows (variable universes are a
+// handful of names per workload), so ids are valid for the life of the
+// process and can be embedded freely in compiled programs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace evps {
+
+/// Dense interned evolution-variable id. Sequential from 0 in interning
+/// order.
+using VarId = std::uint32_t;
+
+inline constexpr VarId kInvalidVarId = ~VarId{0};
+
+class VariableTable {
+ public:
+  /// The process-wide table shared by registries, scopes and compiled
+  /// expression programs.
+  [[nodiscard]] static VariableTable& instance();
+
+  VariableTable() = default;
+  VariableTable(const VariableTable&) = delete;
+  VariableTable& operator=(const VariableTable&) = delete;
+
+  /// Id of `name`, interning it on first sight. Thread-safe.
+  [[nodiscard]] VarId intern(std::string_view name);
+
+  /// Id of `name`, or kInvalidVarId if it has never been interned.
+  [[nodiscard]] VarId find(std::string_view name) const;
+
+  /// Name of an interned id. `id` must come from this table.
+  [[nodiscard]] const std::string& name(VarId id) const;
+
+  /// Number of distinct names interned so far.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, VarId, StringHash, std::equal_to<>> ids_;
+  std::deque<std::string> names_;  // stable addresses; index == VarId
+};
+
+/// Interned id of the reserved continuous variable `t` (elapsed seconds
+/// since the owning subscription was installed).
+[[nodiscard]] VarId elapsed_time_var_id();
+
+}  // namespace evps

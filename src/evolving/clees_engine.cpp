@@ -1,8 +1,5 @@
 #include "evolving/clees_engine.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
 namespace evps {
 
 void CleesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
@@ -11,15 +8,10 @@ void CleesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
     matcher_->add(sub.id(), sub.predicates());
     return;
   }
-  auto static_part = sub.static_predicates();
-  EvolvingPart part;
-  part.id = sub.id();
-  part.sub = entry.sub;
-  part.evolving_preds = sub.evolving_predicates();
-  part.has_static_part = !static_part.empty();
+  const auto static_part = sub.static_predicates();
+  auto part = storage_.make_part(entry.sub, !static_part.empty());
   if (part.has_static_part) matcher_->add(sub.id(), static_part);
-  storage_[entry.dest].push_back(std::move(part));
-  ++evolving_count_;
+  storage_.add(std::move(part), entry.dest);
 }
 
 void CleesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
@@ -29,73 +21,48 @@ void CleesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
     return;
   }
   if (!sub.is_fully_evolving()) matcher_->remove(sub.id());
-  const auto it = storage_.find(entry.dest);
-  if (it != storage_.end()) {
-    auto& parts = it->second;
-    const auto pos = std::find_if(parts.begin(), parts.end(),
-                                  [&](const EvolvingPart& p) { return p.id == sub.id(); });
-    if (pos != parts.end()) {
-      parts.erase(pos);
-      --evolving_count_;
-    }
-    if (parts.empty()) storage_.erase(it);
-  }
-}
-
-bool CleesEngine::static_preds_match(const std::vector<Predicate>& preds,
-                                     const Publication& pub) {
-  for (const auto& p : preds) {
-    const Value* v = pub.get(p.attribute());
-    if (v == nullptr || !p.matches(*v)) return false;
-  }
-  return true;
+  storage_.remove(sub.id(), entry.dest);
 }
 
 void CleesEngine::do_match(const Publication& pub, const VariableSnapshot* snapshot,
                            EngineHost& host, std::vector<NodeId>& destinations) {
-  std::vector<SubscriptionId> m1;
+  m1_.clear();
   {
     const ScopedTimer timer(costs_.match);
-    matcher_->match(pub, m1);
+    matcher_->match(pub, m1_);
   }
-  std::unordered_set<SubscriptionId> m1_set(m1.begin(), m1.end());
-
-  std::unordered_set<NodeId> done;
-  for (const auto id : m1) {
-    const auto& entry = installed().at(id);
-    if (!entry.sub->is_evolving()) {
-      destinations.push_back(entry.dest);
-      done.insert(entry.dest);
-    }
+  storage_.begin_match();
+  for (const auto id : m1_) {
+    if (storage_.note_m1(id)) continue;  // static half of a split subscription
+    const Installed* entry = installed_entry(id);
+    if (entry == nullptr) continue;
+    destinations.push_back(entry->dest);
+    storage_.mark_done(entry->dest);
   }
 
   const ScopedTimer timer(costs_.lazy_eval);
   const SimTime now = host.now();
-  const auto& registry = host.variables();
-  for (auto& [dest, parts] : storage_) {
-    if (done.contains(dest)) continue;
-    for (auto& part : parts) {
-      if (part.has_static_part && !m1_set.contains(part.id)) continue;
+  EvalScope& scope = publication_scope(pub, snapshot, host.variables(), now);
+  for (auto& [dest, group] : storage_.groups()) {
+    if (storage_.done(group)) continue;
+    for (auto& part : group.parts) {
+      if (part.has_static_part && !storage_.m1_hit(part)) continue;
 
       bool matched = false;
       // Snapshot-consistency mode bypasses the cache: cached versions are
       // anchored at broker-local time, which a piggybacked snapshot
       // invalidates (the hybrid is future work in the paper).
-      if (snapshot == nullptr && now < part.cache.expires) {
+      if (snapshot == nullptr && now < part.extra.expires) {
         ++costs_.cache_hits;
-        matched = static_preds_match(part.cache.preds, pub);
+        matched = cached_bounds_match(part.preds, part.extra.bounds, pub);
       } else {
         ++costs_.cache_misses;
         ++costs_.lazy_evaluations;
-        const EvalScope scope = make_scope(*part.sub, now, snapshot, registry, pub.entry_time());
-        std::vector<Predicate> version;
-        version.reserve(part.evolving_preds.size());
-        for (const auto& p : part.evolving_preds) version.push_back(p.materialize(scope));
-        matched = static_preds_match(version, pub);
-        if (snapshot == nullptr) {
-          part.cache.preds = std::move(version);
-          part.cache.expires = now + effective_tt(*part.sub);
-        }
+        scope.set_epoch(part.sub->epoch());
+        auto& bounds = snapshot == nullptr ? part.extra.bounds : snapshot_bounds_;
+        materialize_bounds(part.preds, scope, eval_stack_, bounds);
+        matched = cached_bounds_match(part.preds, bounds, pub);
+        if (snapshot == nullptr) part.extra.expires = now + effective_tt(*part.sub);
       }
       if (matched) {
         destinations.push_back(dest);

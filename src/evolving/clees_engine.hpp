@@ -12,13 +12,17 @@
 // into the matcher would leverage its index but raise contention on the
 // shared structure (Section V-C) — and would re-introduce VES's maintenance
 // scaling, which CLEES exists to avoid.
+//
+// A cached version is just the vector of bound values the compiled
+// predicates evaluated to (CachedBound), parallel to the compiled parts —
+// re-materialisation overwrites it in place, so steady state allocates
+// nothing.
 #pragma once
 
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "evolving/engine.hpp"
+#include "evolving/lazy_storage.hpp"
 
 namespace evps {
 
@@ -26,7 +30,7 @@ class CleesEngine final : public BrokerEngine {
  public:
   explicit CleesEngine(const EngineConfig& config) : BrokerEngine(config) {}
 
-  [[nodiscard]] std::size_t storage_size() const noexcept { return evolving_count_; }
+  [[nodiscard]] std::size_t storage_size() const noexcept { return storage_.size(); }
 
  protected:
   void do_add(const Installed& entry, EngineHost& host) override;
@@ -35,24 +39,18 @@ class CleesEngine final : public BrokerEngine {
                 std::vector<NodeId>& destinations) override;
 
  private:
-  struct CachedVersion {
-    std::vector<Predicate> preds;  // materialised (static) evolving part
+  struct TtCache {
+    std::vector<CachedBound> bounds;  // parallel to Part::preds
     SimTime expires = SimTime::zero();
   };
-
-  struct EvolvingPart {
-    SubscriptionId id;
-    SubscriptionPtr sub;
-    std::vector<Predicate> evolving_preds;
-    bool has_static_part = false;
-    CachedVersion cache;
-  };
-
-  static bool static_preds_match(const std::vector<Predicate>& preds, const Publication& pub);
+  using Storage = LazyStorage<TtCache>;
 
   // Lazy Evolution Storage: evolving parts grouped per destination.
-  std::map<NodeId, std::vector<EvolvingPart>> storage_;
-  std::size_t evolving_count_ = 0;
+  Storage storage_;
+  /// Bounds materialised under a piggybacked snapshot are never cached
+  /// (they are anchored at the publication's entry time, not broker time);
+  /// this scratch keeps that path allocation-free too.
+  std::vector<CachedBound> snapshot_bounds_;
 };
 
 }  // namespace evps

@@ -1,6 +1,7 @@
 #include "evolving/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "evolving/clees_engine.hpp"
 #include "evolving/hybrid_engine.hpp"
@@ -99,17 +100,24 @@ SubscriptionPtr BrokerEngine::subscription_of(SubscriptionId id) const noexcept 
   return it == subs_.end() ? nullptr : it->second.sub;
 }
 
-EvalScope BrokerEngine::make_scope(const Subscription& sub, SimTime now,
-                                   const VariableSnapshot* snapshot,
-                                   const VariableRegistry& registry, SimTime entry_time) {
+EvalScope& BrokerEngine::publication_scope(const Publication& pub,
+                                           const VariableSnapshot* snapshot,
+                                           const VariableRegistry& registry, SimTime now) {
   if (snapshot != nullptr) {
     // Snapshot consistency (Section V-D): evaluate as if at the entry-point
     // broker at the instant the publication entered the system.
-    EvalScope scope{&registry, entry_time, sub.epoch()};
-    for (const auto& [name, value] : *snapshot) scope.bind(name, value);
-    return scope;
+    scope_.rebind(&registry, pub.entry_time());
+    for (const auto& [var, value] : *snapshot) scope_.bind(var, value);
+  } else {
+    scope_.rebind(&registry, now);
   }
-  return EvalScope{&registry, now, sub.epoch()};
+  return scope_;
+}
+
+const BrokerEngine::Installed* BrokerEngine::installed_entry(SubscriptionId id) const noexcept {
+  const auto it = subs_.find(id);
+  assert(it != subs_.end() && "matcher returned an id with no installed subscription");
+  return it == subs_.end() ? nullptr : &it->second;
 }
 
 Duration BrokerEngine::effective_mei(const Subscription& sub) const noexcept {

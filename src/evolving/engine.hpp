@@ -152,17 +152,24 @@ class BrokerEngine {
   virtual void do_match(const Publication& pub, const VariableSnapshot* snapshot,
                         EngineHost& host, std::vector<NodeId>& destinations) = 0;
 
-  /// Build the evaluation environment for an evolving subscription. In
-  /// snapshot mode the scope is anchored at the publication entry time and
-  /// the snapshot values shadow the local registry.
-  [[nodiscard]] static EvalScope make_scope(const Subscription& sub, SimTime now,
-                                            const VariableSnapshot* snapshot,
-                                            const VariableRegistry& registry,
-                                            SimTime entry_time);
+  /// Rebind the engine-owned evaluation scope for `pub`. In snapshot mode
+  /// the scope is anchored at the publication entry time and the snapshot
+  /// values shadow the local registry; otherwise it evaluates at `now`.
+  /// Callers select the subscription epoch per evolving part via
+  /// EvalScope::set_epoch. Allocation-free once the variable universe is
+  /// known.
+  [[nodiscard]] EvalScope& publication_scope(const Publication& pub,
+                                             const VariableSnapshot* snapshot,
+                                             const VariableRegistry& registry, SimTime now);
 
   [[nodiscard]] const std::unordered_map<SubscriptionId, Installed>& installed() const noexcept {
     return subs_;
   }
+
+  /// Installed entry for a matcher-returned id, or null when the matcher and
+  /// the installed table have desynchronised (a bug — asserts in debug
+  /// builds; release builds skip the stale id instead of throwing).
+  [[nodiscard]] const Installed* installed_entry(SubscriptionId id) const noexcept;
 
   /// Effective MEI/TT for a subscription (subscription value, or config
   /// default when the subscription carries a non-positive one).
@@ -172,6 +179,14 @@ class BrokerEngine {
   EngineConfig config_;
   MatcherPtr matcher_;
   EngineCosts costs_;
+
+  // Per-publication scratch shared by the subclasses so that steady-state
+  // matching never allocates: the matcher result buffer, the evaluation
+  // scope (rebound, not rebuilt, each publication) and the value stack used
+  // by compiled expression programs.
+  std::vector<SubscriptionId> m1_;
+  EvalScope scope_;
+  std::vector<double> eval_stack_;
 
   /// RAII timer recording into a Summary (seconds).
   class ScopedTimer {

@@ -1,15 +1,14 @@
 #include "evolving/hybrid_engine.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace evps {
 
 std::size_t HybridEngine::versioned_count() const noexcept {
   std::size_t n = 0;
-  for (const auto& [dest, parts] : storage_) {
-    for (const auto& part : parts) {
-      if (part.mode == Mode::kVersioned) ++n;
+  for (const auto& [dest, group] : storage_.groups()) {
+    for (const auto& part : group.parts) {
+      if (part.extra.mode == Mode::kVersioned) ++n;
     }
   }
   return n;
@@ -22,15 +21,10 @@ void HybridEngine::do_add(const Installed& entry, EngineHost& host) {
     return;
   }
   ensure_timer(host);
-  auto static_part = sub.static_predicates();
-  EvolvingPart part;
-  part.id = sub.id();
-  part.sub = entry.sub;
-  part.evolving_preds = sub.evolving_predicates();
-  part.has_static_part = !static_part.empty();
+  const auto static_part = sub.static_predicates();
+  auto part = storage_.make_part(entry.sub, !static_part.empty());
   if (part.has_static_part) matcher_->add(sub.id(), static_part);
-  storage_[entry.dest].push_back(std::move(part));
-  ++evolving_count_;
+  storage_.add(std::move(part), entry.dest);
 }
 
 void HybridEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
@@ -40,17 +34,7 @@ void HybridEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
     return;
   }
   if (!sub.is_fully_evolving()) matcher_->remove(sub.id());
-  const auto it = storage_.find(entry.dest);
-  if (it != storage_.end()) {
-    auto& parts = it->second;
-    const auto pos = std::find_if(parts.begin(), parts.end(),
-                                  [&](const EvolvingPart& p) { return p.id == sub.id(); });
-    if (pos != parts.end()) {
-      parts.erase(pos);
-      --evolving_count_;
-    }
-    if (parts.empty()) storage_.erase(it);
-  }
+  storage_.remove(sub.id(), entry.dest);
 }
 
 void HybridEngine::ensure_timer(EngineHost& host) {
@@ -67,98 +51,83 @@ void HybridEngine::on_tick(EngineHost& host) {
   const double window_s = tick_period().count_seconds();
   const double refreshes_per_window =
       window_s / std::max(1e-9, config_.default_mei.count_seconds());
-  for (auto& [dest, parts] : storage_) {
-    for (auto& part : parts) {
-      if (part.mode == Mode::kVersioned) refresh(part, host);
-      const auto probes = part.probes_this_window;
-      part.probes_this_window = 0;
+  for (auto& [dest, group] : storage_.groups()) {
+    for (auto& part : group.parts) {
+      if (part.extra.mode == Mode::kVersioned) refresh(part, host);
+      const auto probes = part.extra.probes_this_window;
+      part.extra.probes_this_window = 0;
       const Mode wanted = static_cast<double>(probes) > refreshes_per_window
                               ? Mode::kVersioned
                               : Mode::kLazy;
-      if (wanted == part.mode) continue;
-      part.mode = wanted;
+      if (wanted == part.extra.mode) continue;
+      part.extra.mode = wanted;
       if (wanted == Mode::kVersioned) {
         refresh(part, host);  // enter versioned mode with a fresh version
       } else {
-        part.version_expires = SimTime::zero();  // lazy mode re-evaluates
+        part.extra.version_expires = SimTime::zero();  // lazy mode re-evaluates
       }
     }
   }
-  if (evolving_count_ == 0) {
+  if (storage_.size() == 0) {
     timer_running_ = false;  // go quiescent until the next evolving add
     return;
   }
   host.schedule(tick_period(), [this]() { on_tick(*timer_host_); });
 }
 
-void HybridEngine::refresh(EvolvingPart& part, EngineHost& host) {
+void HybridEngine::refresh(Storage::Part& part, EngineHost& host) {
   const ScopedTimer timer(costs_.maintenance);
-  const EvalScope scope = part.sub->scope(&host.variables(), host.now());
-  part.version.clear();
-  part.version.reserve(part.evolving_preds.size());
-  for (const auto& p : part.evolving_preds) part.version.push_back(p.materialize(scope));
+  scope_.rebind(&host.variables(), host.now());
+  scope_.set_epoch(part.sub->epoch());
+  materialize_bounds(part.preds, scope_, eval_stack_, part.extra.bounds);
   ++costs_.evolutions;
-}
-
-bool HybridEngine::preds_match(const std::vector<Predicate>& preds, const Publication& pub) {
-  for (const auto& p : preds) {
-    const Value* v = pub.get(p.attribute());
-    if (v == nullptr || !p.matches(*v)) return false;
-  }
-  return true;
 }
 
 void HybridEngine::do_match(const Publication& pub, const VariableSnapshot* snapshot,
                             EngineHost& host, std::vector<NodeId>& destinations) {
-  std::vector<SubscriptionId> m1;
+  m1_.clear();
   {
     const ScopedTimer timer(costs_.match);
-    matcher_->match(pub, m1);
+    matcher_->match(pub, m1_);
   }
-  std::unordered_set<SubscriptionId> m1_set(m1.begin(), m1.end());
-
-  std::unordered_set<NodeId> done;
-  for (const auto id : m1) {
-    const auto& entry = installed().at(id);
-    if (!entry.sub->is_evolving()) {
-      destinations.push_back(entry.dest);
-      done.insert(entry.dest);
-    }
+  storage_.begin_match();
+  for (const auto id : m1_) {
+    if (storage_.note_m1(id)) continue;  // static half of a split subscription
+    const Installed* entry = installed_entry(id);
+    if (entry == nullptr) continue;
+    destinations.push_back(entry->dest);
+    storage_.mark_done(entry->dest);
   }
 
   const ScopedTimer timer(costs_.lazy_eval);
   const SimTime now = host.now();
-  const auto& registry = host.variables();
-  for (auto& [dest, parts] : storage_) {
-    if (done.contains(dest)) continue;
-    for (auto& part : parts) {
-      if (part.has_static_part && !m1_set.contains(part.id)) continue;
-      ++part.probes_this_window;
+  EvalScope& scope = publication_scope(pub, snapshot, host.variables(), now);
+  for (auto& [dest, group] : storage_.groups()) {
+    if (storage_.done(group)) continue;
+    for (auto& part : group.parts) {
+      if (part.has_static_part && !storage_.m1_hit(part)) continue;
+      ++part.extra.probes_this_window;
 
       bool matched = false;
       if (snapshot != nullptr) {
         // Snapshot mode: evaluate at the entry instant, bypassing versions.
         ++costs_.lazy_evaluations;
-        const EvalScope scope = make_scope(*part.sub, now, snapshot, registry, pub.entry_time());
-        std::vector<Predicate> version;
-        version.reserve(part.evolving_preds.size());
-        for (const auto& p : part.evolving_preds) version.push_back(p.materialize(scope));
-        matched = preds_match(version, pub);
-      } else if (part.mode == Mode::kVersioned && !part.version.empty()) {
+        scope.set_epoch(part.sub->epoch());
+        materialize_bounds(part.preds, scope, eval_stack_, snapshot_bounds_);
+        matched = cached_bounds_match(part.preds, snapshot_bounds_, pub);
+      } else if (part.extra.mode == Mode::kVersioned && !part.extra.bounds.empty()) {
         ++costs_.cache_hits;
-        matched = preds_match(part.version, pub);
-      } else if (now < part.version_expires && !part.version.empty()) {
+        matched = cached_bounds_match(part.preds, part.extra.bounds, pub);
+      } else if (now < part.extra.version_expires && !part.extra.bounds.empty()) {
         ++costs_.cache_hits;
-        matched = preds_match(part.version, pub);
+        matched = cached_bounds_match(part.preds, part.extra.bounds, pub);
       } else {
         ++costs_.cache_misses;
         ++costs_.lazy_evaluations;
-        const EvalScope scope = part.sub->scope(&registry, now);
-        part.version.clear();
-        part.version.reserve(part.evolving_preds.size());
-        for (const auto& p : part.evolving_preds) part.version.push_back(p.materialize(scope));
-        part.version_expires = now + effective_tt(*part.sub);
-        matched = preds_match(part.version, pub);
+        scope.set_epoch(part.sub->epoch());
+        materialize_bounds(part.preds, scope, eval_stack_, part.extra.bounds);
+        part.extra.version_expires = now + effective_tt(*part.sub);
+        matched = cached_bounds_match(part.preds, part.extra.bounds, pub);
       }
       if (matched) {
         destinations.push_back(dest);

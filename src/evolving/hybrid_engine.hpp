@@ -19,12 +19,16 @@
 // Cost accounting: version refreshes -> maintenance + evolutions; lazy
 // materialisations -> lazy_eval + cache_misses; version/cache probe tests ->
 // cache_hits.
+//
+// Versions are stored as CachedBound vectors over the install-time compiled
+// predicates (see lazy_storage.hpp), so both probing and refreshing are
+// allocation-free in steady state.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "evolving/engine.hpp"
+#include "evolving/lazy_storage.hpp"
 
 namespace evps {
 
@@ -32,11 +36,11 @@ class HybridEngine final : public BrokerEngine {
  public:
   explicit HybridEngine(const EngineConfig& config) : BrokerEngine(config) {}
 
-  [[nodiscard]] std::size_t storage_size() const noexcept { return evolving_count_; }
+  [[nodiscard]] std::size_t storage_size() const noexcept { return storage_.size(); }
   /// Number of evolving parts currently in versioned (VES-like) mode.
   [[nodiscard]] std::size_t versioned_count() const noexcept;
   [[nodiscard]] std::size_t lazy_count() const noexcept {
-    return evolving_count_ - versioned_count();
+    return storage_.size() - versioned_count();
   }
 
  protected:
@@ -48,27 +52,22 @@ class HybridEngine final : public BrokerEngine {
  private:
   enum class Mode { kLazy, kVersioned };
 
-  struct EvolvingPart {
-    SubscriptionId id;
-    SubscriptionPtr sub;
-    std::vector<Predicate> evolving_preds;
-    bool has_static_part = false;
+  struct AdaptiveState {
     Mode mode = Mode::kLazy;
-    std::vector<Predicate> version;  // materialised version (both modes)
+    std::vector<CachedBound> bounds;  // materialised version (both modes)
     SimTime version_expires = SimTime::zero();  // lazy mode only
     std::uint64_t probes_this_window = 0;
   };
+  using Storage = LazyStorage<AdaptiveState>;
 
   void ensure_timer(EngineHost& host);
   void on_tick(EngineHost& host);
-  void refresh(EvolvingPart& part, EngineHost& host);
+  void refresh(Storage::Part& part, EngineHost& host);
 
   [[nodiscard]] Duration tick_period() const noexcept { return config_.default_mei; }
 
-  static bool preds_match(const std::vector<Predicate>& preds, const Publication& pub);
-
-  std::map<NodeId, std::vector<EvolvingPart>> storage_;
-  std::size_t evolving_count_ = 0;
+  Storage storage_;
+  std::vector<CachedBound> snapshot_bounds_;  // see CleesEngine
   bool timer_running_ = false;
   EngineHost* timer_host_ = nullptr;
 };

@@ -1,8 +1,5 @@
 #include "evolving/lees_engine.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
 namespace evps {
 
 void LeesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
@@ -11,15 +8,10 @@ void LeesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
     matcher_->add(sub.id(), sub.predicates());
     return;
   }
-  auto static_part = sub.static_predicates();
-  EvolvingPart part;
-  part.id = sub.id();
-  part.sub = entry.sub;
-  part.evolving_preds = sub.evolving_predicates();
-  part.has_static_part = !static_part.empty();
+  const auto static_part = sub.static_predicates();
+  auto part = leme_.make_part(entry.sub, !static_part.empty());
   if (part.has_static_part) matcher_->add(sub.id(), static_part);
-  leme_[entry.dest].push_back(std::move(part));
-  ++evolving_count_;
+  leme_.add(std::move(part), entry.dest);
 }
 
 void LeesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
@@ -29,24 +21,14 @@ void LeesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
     return;
   }
   if (!sub.is_fully_evolving()) matcher_->remove(sub.id());
-  const auto it = leme_.find(entry.dest);
-  if (it != leme_.end()) {
-    auto& parts = it->second;
-    const auto pos = std::find_if(parts.begin(), parts.end(),
-                                  [&](const EvolvingPart& p) { return p.id == sub.id(); });
-    if (pos != parts.end()) {
-      parts.erase(pos);
-      --evolving_count_;
-    }
-    if (parts.empty()) leme_.erase(it);
-  }
+  leme_.remove(sub.id(), entry.dest);
 }
 
-bool LeesEngine::evolving_part_matches(const EvolvingPart& part, const Publication& pub,
-                                       const Env& scope) {
-  for (const auto& p : part.evolving_preds) {
-    const Value* v = pub.get(p.attribute());
-    if (v == nullptr || !p.matches(*v, scope)) return false;
+bool LeesEngine::evolving_part_matches(const Leme::Part& part, const Publication& pub,
+                                       const EvalScope& scope) {
+  for (const auto& cp : part.preds) {
+    const Value* v = pub.get(cp.attr());
+    if (v == nullptr || !cp.matches(*v, scope, eval_stack_)) return false;
   }
   return true;
 }
@@ -54,34 +36,31 @@ bool LeesEngine::evolving_part_matches(const EvolvingPart& part, const Publicati
 void LeesEngine::do_match(const Publication& pub, const VariableSnapshot* snapshot,
                           EngineHost& host, std::vector<NodeId>& destinations) {
   // M1: standard matcher over static parts and purely-static subscriptions.
-  std::vector<SubscriptionId> m1;
+  m1_.clear();
   {
     const ScopedTimer timer(costs_.match);
-    matcher_->match(pub, m1);
+    matcher_->match(pub, m1_);
   }
-  std::unordered_set<SubscriptionId> m1_set(m1.begin(), m1.end());
-
-  // Destinations already satisfied by purely-static subscriptions.
-  std::unordered_set<NodeId> done;
-  for (const auto id : m1) {
-    const auto& entry = installed().at(id);
-    if (!entry.sub->is_evolving()) {
-      destinations.push_back(entry.dest);
-      done.insert(entry.dest);
-    }
+  leme_.begin_match();
+  for (const auto id : m1_) {
+    if (leme_.note_m1(id)) continue;  // static half of a split subscription
+    const Installed* entry = installed_entry(id);
+    if (entry == nullptr) continue;
+    // Purely-static match: forward, and skip the destination's LEME group.
+    destinations.push_back(entry->dest);
+    leme_.mark_done(entry->dest);
   }
 
   // M2: on-demand evaluation of evolving parts, per destination, with early
   // exit once the destination is known to need the publication.
   const ScopedTimer timer(costs_.lazy_eval);
-  const auto& registry = host.variables();
-  for (const auto& [dest, parts] : leme_) {
-    if (done.contains(dest)) continue;
-    for (const auto& part : parts) {
-      if (part.has_static_part && !m1_set.contains(part.id)) continue;
+  EvalScope& scope = publication_scope(pub, snapshot, host.variables(), host.now());
+  for (const auto& [dest, group] : leme_.groups()) {
+    if (leme_.done(group)) continue;
+    for (const auto& part : group.parts) {
+      if (part.has_static_part && !leme_.m1_hit(part)) continue;
       ++costs_.lazy_evaluations;
-      const EvalScope scope =
-          make_scope(*part.sub, host.now(), snapshot, registry, pub.entry_time());
+      scope.set_epoch(part.sub->epoch());
       if (evolving_part_matches(part, pub, scope)) {
         destinations.push_back(dest);
         break;  // early exit: this destination is settled

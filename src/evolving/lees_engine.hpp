@@ -13,13 +13,16 @@
 // destination stops, because the publication must be forwarded there
 // regardless of further matches — the early-exit behaviour behind
 // Figure 10(b).
+//
+// Evolving predicates are compiled at install time (attribute ids + flat
+// expression programs), so the per-publication loop touches no strings and
+// allocates nothing (see lazy_storage.hpp for the scratch discipline).
 #pragma once
 
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "evolving/engine.hpp"
+#include "evolving/lazy_storage.hpp"
 
 namespace evps {
 
@@ -28,7 +31,7 @@ class LeesEngine final : public BrokerEngine {
   explicit LeesEngine(const EngineConfig& config) : BrokerEngine(config) {}
 
   /// Number of subscriptions with at least one evolving predicate.
-  [[nodiscard]] std::size_t leme_size() const noexcept { return evolving_count_; }
+  [[nodiscard]] std::size_t leme_size() const noexcept { return leme_.size(); }
 
  protected:
   void do_add(const Installed& entry, EngineHost& host) override;
@@ -37,20 +40,15 @@ class LeesEngine final : public BrokerEngine {
                 std::vector<NodeId>& destinations) override;
 
  private:
-  struct EvolvingPart {
-    SubscriptionId id;
-    SubscriptionPtr sub;  // carries epoch and metadata
-    std::vector<Predicate> evolving_preds;
-    bool has_static_part = false;
-  };
+  struct NoExtra {};
+  using Leme = LazyStorage<NoExtra>;
 
-  /// True iff all evolving predicates are satisfied by `pub` under `scope`.
-  static bool evolving_part_matches(const EvolvingPart& part, const Publication& pub,
-                                    const Env& scope);
+  /// True iff all compiled evolving predicates are satisfied by `pub` under
+  /// `scope` (uses the shared eval stack).
+  bool evolving_part_matches(const Leme::Part& part, const Publication& pub,
+                             const EvalScope& scope);
 
-  // LEME: evolving parts grouped per destination, deterministic order.
-  std::map<NodeId, std::vector<EvolvingPart>> leme_;
-  std::size_t evolving_count_ = 0;
+  Leme leme_;
 };
 
 }  // namespace evps

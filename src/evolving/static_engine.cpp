@@ -16,12 +16,15 @@ void StaticEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
 
 void StaticEngine::do_match(const Publication& pub, const VariableSnapshot* /*snapshot*/,
                             EngineHost& /*host*/, std::vector<NodeId>& destinations) {
-  std::vector<SubscriptionId> ids;
+  m1_.clear();
   {
     const ScopedTimer timer(costs_.match);
-    matcher_->match(pub, ids);
+    matcher_->match(pub, m1_);
   }
-  for (const auto id : ids) destinations.push_back(destination_of(id));
+  for (const auto id : m1_) {
+    const Installed* entry = installed_entry(id);
+    if (entry != nullptr) destinations.push_back(entry->dest);
+  }
 }
 
 }  // namespace evps

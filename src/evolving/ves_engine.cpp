@@ -1,6 +1,7 @@
 #include "evolving/ves_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace evps {
 
@@ -18,9 +19,19 @@ void VesEngine::do_add(const Installed& entry, EngineHost& host) {
 
   EvolvingState state;
   state.sub = entry.sub;
-  state.vars = sub.variables();
-  state.depends_on_time = state.vars.contains(std::string(kElapsedTimeVar));
-  state.vars.erase(std::string(kElapsedTimeVar));
+  state.progs.reserve(sub.predicates().size());
+  for (const auto& p : sub.predicates()) {
+    state.progs.push_back(p.is_evolving() ? ExprProgram::compile(*p.fun()) : ExprProgram{});
+    for (const VarId var : state.progs.back().variables()) state.vars.push_back(var);
+  }
+  std::sort(state.vars.begin(), state.vars.end());
+  state.vars.erase(std::unique(state.vars.begin(), state.vars.end()), state.vars.end());
+  const auto t_pos =
+      std::find(state.vars.begin(), state.vars.end(), elapsed_time_var_id());
+  if (t_pos != state.vars.end()) {
+    state.depends_on_time = true;
+    state.vars.erase(t_pos);
+  }
   state.overestimate = config_.overestimate_forwarding && entry.dest_is_broker;
 
   const SimTime now = host.now();
@@ -31,7 +42,8 @@ void VesEngine::do_add(const Installed& entry, EngineHost& host) {
     const ScopedTimer timer(costs_.maintenance);
     matcher_->add(sub.id(), materialize_version(state, registry, now));
   }
-  for (const auto& var : state.vars) state.seen_versions[var] = registry.version(var);
+  state.seen_versions.reserve(state.vars.size());
+  for (const VarId var : state.vars) state.seen_versions.push_back(registry.version(var));
   evolving_.emplace(sub.id(), std::move(state));
 
   esq_.push(sub.id(), now + effective_mei(sub));
@@ -51,12 +63,15 @@ void VesEngine::do_match(const Publication& pub, const VariableSnapshot* /*snaps
   // VES matches against the currently stored versions only; piggybacked
   // snapshots cannot retroactively change the versions (Section V-D notes
   // snapshots "render VES ineffective"), so they are ignored here.
-  std::vector<SubscriptionId> ids;
+  m1_.clear();
   {
     const ScopedTimer timer(costs_.match);
-    matcher_->match(pub, ids);
+    matcher_->match(pub, m1_);
   }
-  for (const auto id : ids) destinations.push_back(destination_of(id));
+  for (const auto id : m1_) {
+    const Installed* entry = installed_entry(id);
+    if (entry != nullptr) destinations.push_back(entry->dest);
+  }
 }
 
 void VesEngine::ensure_listener(EngineHost& host) {
@@ -64,9 +79,9 @@ void VesEngine::ensure_listener(EngineHost& host) {
   if (listened_registry_ == &registry) return;
   if (listened_registry_ != nullptr) listened_registry_->remove_listener(listener_id_);
   listened_registry_ = &registry;
-  listener_id_ = registry.add_listener(
-      [this, &host](const std::string& name, double /*value*/, SimTime /*when*/) {
-        on_variable_changed(name, host);
+  listener_id_ =
+      registry.add_listener([this, &host](VarId var, double /*value*/, SimTime /*when*/) {
+        on_variable_changed(var, host);
       });
 }
 
@@ -99,12 +114,15 @@ void VesEngine::on_timer(EngineHost& host) {
   arm_timer(host);
 }
 
-void VesEngine::on_variable_changed(const std::string& name, EngineHost& host) {
+void VesEngine::on_variable_changed(VarId var, EngineHost& host) {
   if (ready_.empty()) return;
   std::vector<SubscriptionId> to_evolve;
   for (const auto id : ready_) {
     const auto it = evolving_.find(id);
-    if (it != evolving_.end() && it->second.vars.contains(name)) to_evolve.push_back(id);
+    if (it != evolving_.end() &&
+        std::binary_search(it->second.vars.begin(), it->second.vars.end(), var)) {
+      to_evolve.push_back(id);
+    }
   }
   for (const auto id : to_evolve) {
     ready_.erase(id);
@@ -116,38 +134,66 @@ void VesEngine::on_variable_changed(const std::string& name, EngineHost& host) {
 bool VesEngine::needs_evolution(const EvolvingState& state,
                                 const VariableRegistry& registry) const {
   if (state.depends_on_time) return true;  // continuous variables always change
-  for (const auto& [var, seen] : state.seen_versions) {
-    if (registry.version(var) != seen) return true;
-  }
-  // A variable that appeared after materialisation also counts as changed.
-  for (const auto& var : state.vars) {
-    if (!state.seen_versions.contains(var) && registry.has(var)) return true;
+  // seen_versions records every depended-on variable, with 0 for variables
+  // unknown at materialisation time — so a variable appearing later reads as
+  // a version change too.
+  for (std::size_t i = 0; i < state.vars.size(); ++i) {
+    if (registry.version(state.vars[i]) != state.seen_versions[i]) return true;
   }
   return false;
 }
 
 std::vector<Predicate> VesEngine::materialize_version(const EvolvingState& state,
                                                       const VariableRegistry& registry,
-                                                      SimTime now) const {
+                                                      SimTime now) {
   const auto& sub = *state.sub;
-  if (!state.overestimate) return sub.materialize(sub.scope(&registry, now)).predicates();
+  const auto& preds = sub.predicates();
+  std::vector<Predicate> out;
+  out.reserve(preds.size());
+
+  if (!state.overestimate) {
+    scope_.rebind(&registry, now);
+    scope_.set_epoch(sub.epoch());
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      const auto& p = preds[i];
+      if (!p.is_evolving()) {
+        out.push_back(p);
+        continue;
+      }
+      bool unbound = false;
+      double value = 0.0;
+      try {
+        value = state.progs[i].eval(scope_, eval_stack_);
+      } catch (const UnboundVariableError&) {
+        unbound = true;
+      }
+      // Mirror Predicate::materialize: an unbound variable yields a version
+      // that can never be satisfied.
+      out.push_back(unbound ? Predicate{p.attribute(), RelOp::kLt, Value{std::nan("")}}
+                            : Predicate{p.attribute(), p.op(), Value{value}});
+    }
+    return out;
+  }
 
   // Sample each predicate function across the upcoming MEI window and take
   // the loosest bound. Three samples cover linear and mildly curved
   // functions; discrete variables are piecewise-constant so their current
-  // value holds across the window.
+  // value holds across the window. Unlike the exact path, unbound variables
+  // propagate (matching the seed's behaviour, which aborts the install).
   const Duration mei = effective_mei(sub);
-  const EvalScope scopes[3] = {sub.scope(&registry, now), sub.scope(&registry, now + mei / 2),
-                               sub.scope(&registry, now + mei)};
-  std::vector<Predicate> out;
-  out.reserve(sub.predicates().size());
-  for (const auto& p : sub.predicates()) {
+  const SimTime times[3] = {now, now + mei / 2, now + mei};
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const auto& p = preds[i];
     if (!p.is_evolving()) {
       out.push_back(p);
       continue;
     }
     double samples[3];
-    for (int i = 0; i < 3; ++i) samples[i] = p.fun()->eval(scopes[i]);
+    for (int s = 0; s < 3; ++s) {
+      scope_.rebind(&registry, times[s]);
+      scope_.set_epoch(sub.epoch());
+      samples[s] = state.progs[i].eval(scope_, eval_stack_);
+    }
     double bound = samples[0];
     switch (p.op()) {
       case RelOp::kLe:
@@ -179,7 +225,9 @@ void VesEngine::evolve(SubscriptionId id, EvolvingState& state, EngineHost& host
     matcher_->add(id, version);
   }
   ++costs_.evolutions;
-  for (const auto& var : state.vars) state.seen_versions[var] = registry.version(var);
+  for (std::size_t i = 0; i < state.vars.size(); ++i) {
+    state.seen_versions[i] = registry.version(state.vars[i]);
+  }
   esq_.push(id, now + effective_mei(*state.sub));
 }
 

@@ -16,16 +16,21 @@
 //
 // Matching publications uses only the standard matcher (fast), which is why
 // VES "has the advantage of not being affected by publications".
+//
+// Dependency tracking is keyed by interned VarId: each evolving state keeps
+// a sorted id vector with the registry versions observed at the last
+// materialisation, and the registry's change listener reports VarIds, so
+// change fan-out never touches variable names.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <set>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "evolving/engine.hpp"
 #include "evolving/esq.hpp"
+#include "expr/program.hpp"
 
 namespace evps {
 
@@ -48,19 +53,25 @@ class VesEngine final : public BrokerEngine {
  private:
   struct EvolvingState {
     SubscriptionPtr sub;
-    std::set<std::string> vars;        // evolution variables referenced
-    bool depends_on_time = false;      // references the continuous `t`
+    /// Compiled operands, parallel to sub->predicates(); empty programs in
+    /// the slots of static predicates.
+    std::vector<ExprProgram> progs;
+    /// Discrete evolution variables referenced, sorted ascending (`t`
+    /// excluded — it is tracked by depends_on_time).
+    std::vector<VarId> vars;
+    /// Registry versions captured when the current version was materialised,
+    /// parallel to `vars`.
+    std::vector<std::uint64_t> seen_versions;
+    bool depends_on_time = false;  // references the continuous `t`
     /// Widen versions over the MEI window (forwarding-hop subscriptions
     /// under the overestimation extension, Section IV-A).
     bool overestimate = false;
-    // Registry versions captured when the current version was materialised.
-    std::map<std::string, std::uint64_t> seen_versions;
   };
 
   void ensure_listener(EngineHost& host);
   void arm_timer(EngineHost& host);
   void on_timer(EngineHost& host);
-  void on_variable_changed(const std::string& name, EngineHost& host);
+  void on_variable_changed(VarId var, EngineHost& host);
 
   /// True iff any depended-on variable changed since materialisation.
   [[nodiscard]] bool needs_evolution(const EvolvingState& state,
@@ -71,10 +82,11 @@ class VesEngine final : public BrokerEngine {
 
   /// Non-evolving version of the subscription at `now`; if the state asks
   /// for overestimation, range predicates are widened to the extreme the
-  /// function reaches anywhere in [now, now + MEI].
+  /// function reaches anywhere in [now, now + MEI]. Uses the engine's
+  /// shared scope and eval stack (maintenance path, not reentrant).
   [[nodiscard]] std::vector<Predicate> materialize_version(const EvolvingState& state,
                                                            const VariableRegistry& registry,
-                                                           SimTime now) const;
+                                                           SimTime now);
 
   EvolvingSubscriptionQueue esq_;
   std::unordered_map<SubscriptionId, EvolvingState> evolving_;

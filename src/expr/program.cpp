@@ -1,0 +1,212 @@
+#include "expr/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evps {
+
+namespace {
+
+struct Lowering {
+  std::vector<ExprProgram::Insn> code;
+  std::size_t depth = 0;
+  std::size_t max_depth = 0;
+
+  void emit(ExprProgram::Insn insn, std::size_t pops, std::size_t pushes) {
+    code.push_back(insn);
+    depth -= pops;
+    depth += pushes;
+    max_depth = std::max(max_depth, depth);
+  }
+
+  void lower(const Expr& expr) {
+    using Insn = ExprProgram::Insn;
+    using Op = ExprProgram::Op;
+    std::visit(
+        [&](const auto& n) {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, Expr::Const>) {
+            emit(Insn{Op::kPushConst, 0, kInvalidVarId, n.value}, 0, 1);
+          } else if constexpr (std::is_same_v<T, Expr::Var>) {
+            emit(Insn{Op::kLoadVar, 0, VariableTable::instance().intern(n.name), 0.0}, 0, 1);
+          } else if constexpr (std::is_same_v<T, Expr::Unary>) {
+            lower(*n.operand);
+            Op op = Op::kNeg;
+            switch (n.op) {
+              case UnaryOp::kNeg: op = Op::kNeg; break;
+              case UnaryOp::kAbs: op = Op::kAbs; break;
+              case UnaryOp::kFloor: op = Op::kFloor; break;
+              case UnaryOp::kCeil: op = Op::kCeil; break;
+              case UnaryOp::kSqrt: op = Op::kSqrt; break;
+              case UnaryOp::kSin: op = Op::kSin; break;
+              case UnaryOp::kCos: op = Op::kCos; break;
+              case UnaryOp::kSign: op = Op::kSign; break;
+            }
+            emit(Insn{op, 0, kInvalidVarId, 0.0}, 1, 1);
+          } else if constexpr (std::is_same_v<T, Expr::Binary>) {
+            lower(*n.lhs);
+            lower(*n.rhs);
+            Op op = Op::kAdd;
+            switch (n.op) {
+              case BinaryOp::kAdd: op = Op::kAdd; break;
+              case BinaryOp::kSub: op = Op::kSub; break;
+              case BinaryOp::kMul: op = Op::kMul; break;
+              case BinaryOp::kDiv: op = Op::kDiv; break;
+              case BinaryOp::kMod: op = Op::kMod; break;
+              case BinaryOp::kPow: op = Op::kPow; break;
+            }
+            emit(Insn{op, 0, kInvalidVarId, 0.0}, 2, 1);
+          } else {
+            for (const auto& a : n.args) lower(*a);
+            const auto argc = static_cast<std::uint32_t>(n.args.size());
+            switch (n.fn) {
+              case CallFn::kMin:
+                emit(Insn{Op::kMin, argc, kInvalidVarId, 0.0}, argc, 1);
+                break;
+              case CallFn::kMax:
+                emit(Insn{Op::kMax, argc, kInvalidVarId, 0.0}, argc, 1);
+                break;
+              case CallFn::kClamp:
+                emit(Insn{Op::kClamp, argc, kInvalidVarId, 0.0}, 3, 1);
+                break;
+              case CallFn::kStep:
+                emit(Insn{Op::kStep, argc, kInvalidVarId, 0.0}, 1, 1);
+                break;
+            }
+          }
+        },
+        expr.node());
+  }
+};
+
+}  // namespace
+
+ExprProgram ExprProgram::compile(const Expr& expr) {
+  Lowering lowering;
+  lowering.lower(expr);
+  ExprProgram prog;
+  prog.code_ = std::move(lowering.code);
+  prog.code_.shrink_to_fit();
+  prog.max_stack_ = lowering.max_depth;
+  return prog;
+}
+
+double ExprProgram::eval(const EvalScope& scope, std::vector<double>& stack) const {
+  if (code_.empty()) throw std::logic_error("evaluating an empty ExprProgram");
+  stack.clear();
+  if (stack.capacity() < max_stack_) stack.reserve(max_stack_);
+  for (const Insn& insn : code_) {
+    switch (insn.op) {
+      case Op::kPushConst:
+        stack.push_back(insn.k);
+        break;
+      case Op::kLoadVar:
+        stack.push_back(scope.lookup(insn.var));
+        break;
+      case Op::kNeg:
+        stack.back() = -stack.back();
+        break;
+      case Op::kAbs:
+        stack.back() = std::fabs(stack.back());
+        break;
+      case Op::kFloor:
+        stack.back() = std::floor(stack.back());
+        break;
+      case Op::kCeil:
+        stack.back() = std::ceil(stack.back());
+        break;
+      case Op::kSqrt:
+        stack.back() = std::sqrt(stack.back());
+        break;
+      case Op::kSin:
+        stack.back() = std::sin(stack.back());
+        break;
+      case Op::kCos:
+        stack.back() = std::cos(stack.back());
+        break;
+      case Op::kSign: {
+        const double x = stack.back();
+        stack.back() = x < 0 ? -1.0 : (x > 0 ? 1.0 : 0.0);
+        break;
+      }
+      case Op::kAdd: {
+        const double b = stack.back();
+        stack.pop_back();
+        stack.back() += b;
+        break;
+      }
+      case Op::kSub: {
+        const double b = stack.back();
+        stack.pop_back();
+        stack.back() -= b;
+        break;
+      }
+      case Op::kMul: {
+        const double b = stack.back();
+        stack.pop_back();
+        stack.back() *= b;
+        break;
+      }
+      case Op::kDiv: {
+        const double b = stack.back();
+        stack.pop_back();
+        stack.back() /= b;
+        break;
+      }
+      case Op::kMod: {
+        const double b = stack.back();
+        stack.pop_back();
+        stack.back() = std::fmod(stack.back(), b);
+        break;
+      }
+      case Op::kPow: {
+        const double b = stack.back();
+        stack.pop_back();
+        stack.back() = std::pow(stack.back(), b);
+        break;
+      }
+      case Op::kMin: {
+        // Fold left like the tree walker: m = min(m, arg_i) in order.
+        const std::size_t base = stack.size() - insn.argc;
+        double m = stack[base];
+        for (std::size_t i = 1; i < insn.argc; ++i) m = std::min(m, stack[base + i]);
+        stack.resize(base);
+        stack.push_back(m);
+        break;
+      }
+      case Op::kMax: {
+        const std::size_t base = stack.size() - insn.argc;
+        double m = stack[base];
+        for (std::size_t i = 1; i < insn.argc; ++i) m = std::max(m, stack[base + i]);
+        stack.resize(base);
+        stack.push_back(m);
+        break;
+      }
+      case Op::kClamp: {
+        const double hi = stack.back();
+        stack.pop_back();
+        const double lo = stack.back();
+        stack.pop_back();
+        stack.back() = std::min(std::max(stack.back(), lo), hi);
+        break;
+      }
+      case Op::kStep:
+        stack.back() = stack.back() < 0 ? 0.0 : 1.0;
+        break;
+    }
+  }
+  return stack.back();
+}
+
+std::vector<VarId> ExprProgram::variables() const {
+  std::vector<VarId> out;
+  for (const Insn& insn : code_) {
+    if (insn.op == Op::kLoadVar) out.push_back(insn.var);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace evps

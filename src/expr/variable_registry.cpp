@@ -5,14 +5,12 @@
 
 namespace evps {
 
-void VariableRegistry::set(std::string_view name, double value, SimTime when) {
-  auto it = vars_.find(name);
-  if (it == vars_.end()) {
-    it = vars_.emplace(std::string(name), History{}).first;
-  }
-  auto& changes = it->second.changes;
+void VariableRegistry::set(VarId var, double value, SimTime when) {
+  if (var == kInvalidVarId) throw std::invalid_argument("cannot set an invalid VarId");
+  if (var >= vars_.size()) vars_.resize(var + 1);
+  auto& changes = vars_[var].changes;
   if (!changes.empty() && when < changes.back().first) {
-    throw std::invalid_argument("variable '" + std::string(name) +
+    throw std::invalid_argument("variable '" + VariableTable::instance().name(var) +
                                 "' history must be appended in time order");
   }
   if (!changes.empty() && when == changes.back().first) {
@@ -22,24 +20,18 @@ void VariableRegistry::set(std::string_view name, double value, SimTime when) {
   }
   ++global_version_;
   for (auto& [id, listener] : listeners_) {
-    listener(it->first, value, when);
+    listener(var, value, when);
   }
 }
 
-bool VariableRegistry::has(std::string_view name) const noexcept {
-  return vars_.find(name) != vars_.end();
+std::optional<double> VariableRegistry::get(VarId var) const noexcept {
+  if (var >= vars_.size() || vars_[var].changes.empty()) return std::nullopt;
+  return vars_[var].changes.back().second;
 }
 
-std::optional<double> VariableRegistry::get(std::string_view name) const noexcept {
-  const auto it = vars_.find(name);
-  if (it == vars_.end() || it->second.changes.empty()) return std::nullopt;
-  return it->second.changes.back().second;
-}
-
-std::optional<double> VariableRegistry::get_at(std::string_view name, SimTime when) const noexcept {
-  const auto it = vars_.find(name);
-  if (it == vars_.end() || it->second.changes.empty()) return std::nullopt;
-  const auto& changes = it->second.changes;
+std::optional<double> VariableRegistry::get_at(VarId var, SimTime when) const noexcept {
+  if (var >= vars_.size() || vars_[var].changes.empty()) return std::nullopt;
+  const auto& changes = vars_[var].changes;
   // Last change with time <= when.
   auto pos = std::upper_bound(changes.begin(), changes.end(), when,
                               [](SimTime t, const auto& entry) { return t < entry.first; });
@@ -47,22 +39,31 @@ std::optional<double> VariableRegistry::get_at(std::string_view name, SimTime wh
   return std::prev(pos)->second;
 }
 
-std::uint64_t VariableRegistry::version(std::string_view name) const noexcept {
-  const auto it = vars_.find(name);
-  return it == vars_.end() ? 0 : it->second.changes.size();
-}
-
-std::optional<SimTime> VariableRegistry::last_change(std::string_view name) const noexcept {
-  const auto it = vars_.find(name);
-  if (it == vars_.end() || it->second.changes.empty()) return std::nullopt;
-  return it->second.changes.back().first;
+std::optional<SimTime> VariableRegistry::last_change(VarId var) const noexcept {
+  if (var >= vars_.size() || vars_[var].changes.empty()) return std::nullopt;
+  return vars_[var].changes.back().first;
 }
 
 std::vector<std::string> VariableRegistry::names() const {
   std::vector<std::string> out;
-  out.reserve(vars_.size());
-  for (const auto& [name, history] : vars_) out.push_back(name);
+  for (VarId var = 0; var < vars_.size(); ++var) {
+    if (!vars_[var].changes.empty()) out.push_back(VariableTable::instance().name(var));
+  }
   return out;
+}
+
+std::vector<VarId> VariableRegistry::ids() const {
+  std::vector<VarId> out;
+  for (VarId var = 0; var < vars_.size(); ++var) {
+    if (!vars_[var].changes.empty()) out.push_back(var);
+  }
+  return out;
+}
+
+void VariableRegistry::for_each_latest(const std::function<void(VarId, double)>& fn) const {
+  for (VarId var = 0; var < vars_.size(); ++var) {
+    if (!vars_[var].changes.empty()) fn(var, vars_[var].changes.back().second);
+  }
 }
 
 VariableRegistry::ListenerId VariableRegistry::add_listener(Listener listener) {
@@ -73,19 +74,49 @@ VariableRegistry::ListenerId VariableRegistry::add_listener(Listener listener) {
 
 void VariableRegistry::remove_listener(ListenerId id) { listeners_.erase(id); }
 
-double EvalScope::lookup(std::string_view name) const {
-  if (const auto it = overrides_.find(name); it != overrides_.end()) return it->second;
-  if (name == kElapsedTimeVar) return (now_ - epoch_).count_seconds();
-  if (registry_ != nullptr) {
-    if (const auto v = registry_->get_at(name, now_)) return *v;
+EvalScope& EvalScope::bind(VarId var, double value) {
+  if (var >= override_stamp_.size()) {
+    // First sight of a new variable universe size: grow to the full table so
+    // subsequent binds never reallocate.
+    const std::size_t n = std::max<std::size_t>(var + 1, VariableTable::instance().size());
+    override_val_.resize(n, 0.0);
+    override_stamp_.resize(n, 0);
   }
+  override_val_[var] = value;
+  override_stamp_[var] = stamp_;
+  return *this;
+}
+
+double EvalScope::lookup(VarId var) const {
+  double v = 0;
+  if (override_at(var, v)) return v;
+  if (var == elapsed_time_var_id()) return (now_ - epoch_).count_seconds();
+  if (registry_ != nullptr) {
+    if (const auto r = registry_->get_at(var, now_)) return *r;
+  }
+  throw UnboundVariableError(var == kInvalidVarId ? std::string_view{"<invalid>"}
+                                                  : VariableTable::instance().name(var));
+}
+
+bool EvalScope::has(VarId var) const noexcept {
+  double v = 0;
+  if (override_at(var, v)) return true;
+  if (var == elapsed_time_var_id()) return true;
+  return registry_ != nullptr && registry_->get_at(var, now_).has_value();
+}
+
+double EvalScope::lookup(std::string_view name) const {
+  const VarId var = VariableTable::instance().find(name);
+  if (var != kInvalidVarId) return lookup(var);
+  // Never-interned names can still be the reserved `t` (interning is lazy).
+  if (name == kElapsedTimeVar) return (now_ - epoch_).count_seconds();
   throw UnboundVariableError(name);
 }
 
 bool EvalScope::has(std::string_view name) const {
-  if (overrides_.contains(name)) return true;
-  if (name == kElapsedTimeVar) return true;
-  return registry_ != nullptr && registry_->get_at(name, now_).has_value();
+  const VarId var = VariableTable::instance().find(name);
+  if (var != kInvalidVarId) return has(var);
+  return name == kElapsedTimeVar;
 }
 
 }  // namespace evps

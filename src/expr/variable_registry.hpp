@@ -7,12 +7,19 @@
 // any subscription at the exact instant a publication entered the system
 // (Section V-D consistency model).
 //
+// Variables are interned process-wide into dense `VarId`s (see
+// `common/variable_table.hpp`); the registry stores one history per id in a
+// flat vector, so the per-publication evaluation hot path never hashes or
+// compares variable names. String-keyed overloads remain for the wire format,
+// tests and diagnostics.
+//
 // The continuous variable `t` (elapsed time since a subscription was
 // installed, "initialized to 0 at the time of subscription") is not stored
 // here: it is derived from the evaluation scope's clock and the
 // subscription's epoch.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "common/variable_table.hpp"
 #include "expr/ast.hpp"
 
 namespace evps {
@@ -34,34 +42,65 @@ class VariableRegistry {
  public:
   using ListenerId = std::uint64_t;
   /// Invoked synchronously after a variable changes value.
-  using Listener = std::function<void(const std::string& name, double value, SimTime when)>;
+  using Listener = std::function<void(VarId var, double value, SimTime when)>;
 
   VariableRegistry() = default;
 
-  /// Set `name` to `value` effective at `when`. `when` must be >= the time of
+  /// Set `var` to `value` effective at `when`. `when` must be >= the time of
   /// the variable's previous change (piecewise-constant history, appended in
   /// time order); violations throw std::invalid_argument.
-  void set(std::string_view name, double value, SimTime when);
+  void set(VarId var, double value, SimTime when);
+  void set(std::string_view name, double value, SimTime when) {
+    set(VariableTable::instance().intern(name), value, when);
+  }
 
-  [[nodiscard]] bool has(std::string_view name) const noexcept;
+  [[nodiscard]] bool has(VarId var) const noexcept {
+    return var < vars_.size() && !vars_[var].changes.empty();
+  }
+  [[nodiscard]] bool has(std::string_view name) const noexcept {
+    return has(VariableTable::instance().find(name));
+  }
 
   /// Latest value, or nullopt if never set.
-  [[nodiscard]] std::optional<double> get(std::string_view name) const noexcept;
+  [[nodiscard]] std::optional<double> get(VarId var) const noexcept;
+  [[nodiscard]] std::optional<double> get(std::string_view name) const noexcept {
+    return get(VariableTable::instance().find(name));
+  }
 
   /// Value in effect at time `when` (the last change at or before `when`),
   /// or nullopt if the variable did not exist yet.
-  [[nodiscard]] std::optional<double> get_at(std::string_view name, SimTime when) const noexcept;
+  [[nodiscard]] std::optional<double> get_at(VarId var, SimTime when) const noexcept;
+  [[nodiscard]] std::optional<double> get_at(std::string_view name, SimTime when) const noexcept {
+    return get_at(VariableTable::instance().find(name), when);
+  }
 
-  /// Number of changes applied to `name` (0 if unknown). Monotonic.
-  [[nodiscard]] std::uint64_t version(std::string_view name) const noexcept;
+  /// Number of changes applied to `var` (0 if unknown). Monotonic.
+  [[nodiscard]] std::uint64_t version(VarId var) const noexcept {
+    return var < vars_.size() ? vars_[var].changes.size() : 0;
+  }
+  [[nodiscard]] std::uint64_t version(std::string_view name) const noexcept {
+    return version(VariableTable::instance().find(name));
+  }
 
   /// Total number of changes applied across all variables. Monotonic.
   [[nodiscard]] std::uint64_t global_version() const noexcept { return global_version_; }
 
-  /// Time of the last change to `name` (nullopt if unknown).
-  [[nodiscard]] std::optional<SimTime> last_change(std::string_view name) const noexcept;
+  /// Time of the last change to `var` (nullopt if unknown).
+  [[nodiscard]] std::optional<SimTime> last_change(VarId var) const noexcept;
+  [[nodiscard]] std::optional<SimTime> last_change(std::string_view name) const noexcept {
+    return last_change(VariableTable::instance().find(name));
+  }
 
+  /// Names of all variables with at least one recorded change, in interning
+  /// order (diagnostics / wire format).
   [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Ids of all variables with at least one recorded change, ascending.
+  [[nodiscard]] std::vector<VarId> ids() const;
+
+  /// Invoke `fn(var, latest_value)` for every known variable (snapshot
+  /// piggybacking).
+  void for_each_latest(const std::function<void(VarId, double)>& fn) const;
 
   ListenerId add_listener(Listener listener);
   void remove_listener(ListenerId id);
@@ -71,7 +110,9 @@ class VariableRegistry {
     // (change time, value), strictly ordered by time. Later entries override.
     std::vector<std::pair<SimTime, double>> changes;
   };
-  std::map<std::string, History, std::less<>> vars_;
+  // Histories indexed by process-wide VarId; ids this registry has never
+  // seen hold empty histories (the variable universe is small and shared).
+  std::vector<History> vars_;
   std::uint64_t global_version_ = 0;
   std::uint64_t next_listener_ = 1;
   std::map<ListenerId, Listener> listeners_;
@@ -79,19 +120,48 @@ class VariableRegistry {
 
 /// Env implementation combining a VariableRegistry snapshot-in-time with the
 /// per-subscription elapsed-time variable and optional local overrides.
+///
+/// Engines keep one EvalScope alive and *rebind* it per publication
+/// (`rebind`) and per evolving part (`set_epoch`): overrides live in an
+/// epoch-stamped dense slot array indexed by VarId, so rebinding invalidates
+/// them in O(1) without freeing memory, and steady-state evaluation performs
+/// no heap allocation. The string-keyed Env interface stays for the
+/// tree-walking oracle; compiled programs use the VarId fast path.
 class EvalScope final : public Env {
  public:
+  EvalScope() noexcept = default;
+
   /// `registry` may be null (then only `t` and overrides resolve).
   /// `now` is the evaluation instant; `epoch` is the subscription install
   /// time, so `t = (now - epoch)` in seconds.
   EvalScope(const VariableRegistry* registry, SimTime now, SimTime epoch) noexcept
       : registry_(registry), now_(now), epoch_(epoch) {}
 
-  /// Bind (or shadow) a variable locally, e.g. piggybacked snapshot values.
-  EvalScope& bind(std::string name, double value) {
-    overrides_.insert_or_assign(std::move(name), value);
-    return *this;
+  /// Re-anchor the scope for a new evaluation round: swaps the registry and
+  /// clock and drops all overrides (by stamp bump, not by clearing).
+  void rebind(const VariableRegistry* registry, SimTime now) noexcept {
+    registry_ = registry;
+    now_ = now;
+    if (++stamp_ == 0) {  // stamp wrapped: invalidate every slot explicitly
+      std::fill(override_stamp_.begin(), override_stamp_.end(), 0);
+      stamp_ = 1;
+    }
   }
+
+  /// Switch the subscription epoch (`t` anchor) without touching overrides;
+  /// O(1), used per evolving part within one publication.
+  void set_epoch(SimTime epoch) noexcept { epoch_ = epoch; }
+
+  /// Bind (or shadow) a variable locally, e.g. piggybacked snapshot values.
+  EvalScope& bind(VarId var, double value);
+  EvalScope& bind(std::string_view name, double value) {
+    return bind(VariableTable::instance().intern(name), value);
+  }
+
+  /// VarId fast path used by compiled expression programs. Throws
+  /// UnboundVariableError like the string path.
+  [[nodiscard]] double lookup(VarId var) const;
+  [[nodiscard]] bool has(VarId var) const noexcept;
 
   [[nodiscard]] double lookup(std::string_view name) const override;
   [[nodiscard]] bool has(std::string_view name) const override;
@@ -100,10 +170,23 @@ class EvalScope final : public Env {
   [[nodiscard]] SimTime epoch() const noexcept { return epoch_; }
 
  private:
-  const VariableRegistry* registry_;
-  SimTime now_;
-  SimTime epoch_;
-  std::map<std::string, double, std::less<>> overrides_;
+  [[nodiscard]] bool override_at(VarId var, double& out) const noexcept {
+    if (var < override_stamp_.size() && override_stamp_[var] == stamp_) {
+      out = override_val_[var];
+      return true;
+    }
+    return false;
+  }
+
+  const VariableRegistry* registry_ = nullptr;
+  SimTime now_{};
+  SimTime epoch_{};
+  // Dense override slots indexed by VarId; a slot is bound iff its stamp
+  // matches the current rebind stamp. Grown on demand (the variable universe
+  // is stable, so steady state never reallocates).
+  std::vector<double> override_val_;
+  std::vector<std::uint32_t> override_stamp_;
+  std::uint32_t stamp_ = 1;
 };
 
 }  // namespace evps

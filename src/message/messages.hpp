@@ -10,6 +10,7 @@
 
 #include "common/ids.hpp"
 #include "common/sim_time.hpp"
+#include "common/variable_table.hpp"
 #include "message/advertisement.hpp"
 #include "message/publication.hpp"
 #include "message/subscription.hpp"
@@ -18,8 +19,20 @@ namespace evps {
 
 /// Piggybacked snapshot of evolution-variable values recorded at the entry
 /// broker (Section V-D, snapshot consistency extension for LEES/CLEES).
-using VariableSnapshot = std::map<std::string, double>;
+/// Keyed by interned VarId so engines bind snapshot values into their slot
+/// scopes without touching variable names.
+using VariableSnapshot = std::map<VarId, double>;
 using VariableSnapshotPtr = std::shared_ptr<const VariableSnapshot>;
+
+/// Build a snapshot from (name, value) pairs (tests / ad-hoc callers).
+[[nodiscard]] inline VariableSnapshot make_variable_snapshot(
+    std::initializer_list<std::pair<std::string_view, double>> init) {
+  VariableSnapshot snap;
+  for (const auto& [name, value] : init) {
+    snap.emplace(VariableTable::instance().intern(name), value);
+  }
+  return snap;
+}
 
 struct SubscribeMsg {
   SubscriptionPtr sub;

@@ -41,10 +41,16 @@ bool apply_rel_op(RelOp op, const Value& lhs, const Value& rhs) noexcept {
 }
 
 Predicate::Predicate(std::string attribute, RelOp op, Value constant)
-    : attribute_(std::move(attribute)), op_(op), operand_(std::move(constant)) {}
+    : attribute_(std::move(attribute)),
+      attr_id_(AttributeTable::instance().intern(attribute_)),
+      op_(op),
+      operand_(std::move(constant)) {}
 
 Predicate::Predicate(std::string attribute, RelOp op, ExprPtr fun)
-    : attribute_(std::move(attribute)), op_(op), operand_(std::move(fun)) {
+    : attribute_(std::move(attribute)),
+      attr_id_(AttributeTable::instance().intern(attribute_)),
+      op_(op),
+      operand_(std::move(fun)) {
   const auto& f = std::get<ExprPtr>(operand_);
   if (!f) throw std::invalid_argument("evolving predicate function must not be null");
   // Constant functions degenerate to static predicates; fold eagerly so the
@@ -96,6 +102,38 @@ std::string Predicate::to_string() const {
   out += " ";
   out += is_evolving() ? fun()->to_string() : constant().to_string();
   return out;
+}
+
+CompiledPredicate::CompiledPredicate(const Predicate& pred)
+    : attr_(pred.attr_id()), op_(pred.op()) {
+  if (!pred.is_evolving()) {
+    throw std::invalid_argument("CompiledPredicate requires an evolving predicate");
+  }
+  prog_ = ExprProgram::compile(*pred.fun());
+}
+
+double CompiledPredicate::bound(const EvalScope& scope, std::vector<double>& stack,
+                                bool& unbound) const {
+  try {
+    unbound = false;
+    return prog_.eval(scope, stack);
+  } catch (const UnboundVariableError&) {
+    // Fail closed, mirroring Predicate::materialize: callers must treat an
+    // unbound bound as never-matching regardless of the operator.
+    unbound = true;
+    return std::nan("");
+  }
+}
+
+bool CompiledPredicate::matches(const Value& pub_value, const EvalScope& scope,
+                                std::vector<double>& stack) const {
+  try {
+    return apply_rel_op(op_, pub_value, Value{prog_.eval(scope, stack)});
+  } catch (const UnboundVariableError&) {
+    // Fail closed like Predicate::matches: a variable the broker has not
+    // (yet) learned about makes the predicate unsatisfiable.
+    return false;
+  }
 }
 
 bool Predicate::operator==(const Predicate& other) const noexcept {

@@ -13,9 +13,12 @@
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
+#include "common/attribute_table.hpp"
 #include "common/value.hpp"
 #include "expr/ast.hpp"
+#include "expr/program.hpp"
 
 namespace evps {
 
@@ -38,6 +41,9 @@ class Predicate {
   Predicate(std::string attribute, RelOp op, ExprPtr fun);
 
   [[nodiscard]] const std::string& attribute() const noexcept { return attribute_; }
+  /// Interned id of attribute(); cached at construction so matching never
+  /// hashes the name.
+  [[nodiscard]] AttrId attr_id() const noexcept { return attr_id_; }
   [[nodiscard]] RelOp op() const noexcept { return op_; }
 
   [[nodiscard]] bool is_evolving() const noexcept {
@@ -70,8 +76,38 @@ class Predicate {
 
  private:
   std::string attribute_;
+  AttrId attr_id_ = kInvalidAttrId;
   RelOp op_;
   std::variant<Value, ExprPtr> operand_;
+};
+
+/// Install-time compiled form of an evolving predicate: attribute resolved to
+/// its interned AttrId and the function lowered to a flat ExprProgram, so the
+/// per-publication evaluation loop (LEES/CLEES/hybrid) does integer loads
+/// only. Requires pred.is_evolving() (static parts live in the matcher).
+class CompiledPredicate {
+ public:
+  CompiledPredicate() = default;
+  explicit CompiledPredicate(const Predicate& pred);
+
+  [[nodiscard]] AttrId attr() const noexcept { return attr_; }
+  [[nodiscard]] RelOp op() const noexcept { return op_; }
+  [[nodiscard]] const ExprProgram& program() const noexcept { return prog_; }
+
+  /// Bound value under `scope`; NaN when a referenced variable is unbound
+  /// (`unbound` reports which). Allocation-free in steady state.
+  [[nodiscard]] double bound(const EvalScope& scope, std::vector<double>& stack,
+                             bool& unbound) const;
+
+  /// Evaluate against a publication value: pub_value OP program(scope).
+  /// Unbound variables fail closed, mirroring Predicate::matches.
+  [[nodiscard]] bool matches(const Value& pub_value, const EvalScope& scope,
+                             std::vector<double>& stack) const;
+
+ private:
+  AttrId attr_ = kInvalidAttrId;
+  RelOp op_ = RelOp::kLt;
+  ExprProgram prog_;
 };
 
 }  // namespace evps

@@ -44,7 +44,7 @@ std::set<std::string> Subscription::variables() const {
 bool Subscription::matches(const Publication& pub, const Env& env) const {
   if (predicates_.empty()) return false;
   for (const auto& p : predicates_) {
-    const Value* v = pub.get(p.attribute());
+    const Value* v = pub.get(p.attr_id());
     if (v == nullptr || !p.matches(*v, env)) return false;
   }
   return true;
@@ -53,7 +53,7 @@ bool Subscription::matches(const Publication& pub, const Env& env) const {
 bool Subscription::matches(const Publication& pub) const {
   if (predicates_.empty()) return false;
   for (const auto& p : predicates_) {
-    const Value* v = pub.get(p.attribute());
+    const Value* v = pub.get(p.attr_id());
     if (v == nullptr || !p.matches(*v)) return false;
   }
   return true;

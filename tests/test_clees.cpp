@@ -125,7 +125,7 @@ TEST_F(CleesTest, SnapshotBypassesCache) {
   // A snapshot evaluation must not consult or pollute the cache.
   Publication pub = parse_publication("x = 5");
   pub.set_entry_time(sim.now());
-  const VariableSnapshot snapshot{{"v", 1.0}};
+  const VariableSnapshot snapshot = make_variable_snapshot({{"v", 1.0}});
   EXPECT_EQ(match(engine, host, pub, &snapshot).size(), 1u);
   // The cached (non-snapshot) version is still the local one.
   EXPECT_TRUE(match(engine, host, parse_publication("x = 5")).empty());

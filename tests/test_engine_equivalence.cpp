@@ -197,5 +197,89 @@ INSTANTIATE_TEST_SUITE_P(RandomWorkloads, EngineEquivalence,
                                            Params{13, 50, 40}, Params{14, 5, 120},
                                            Params{15, 40, 80}, Params{16, 1, 200}));
 
+// The engines evaluate install-time *compiled* programs; this oracle
+// re-evaluates the same predicates by walking the expression tree through
+// the string-keyed Env interface. Nonlinear operands (min/max/abs/sqrt/
+// trig/pow and a sometimes-unbound variable) force every program opcode and
+// the unbound-variable fail-closed path through both pipelines.
+class CompiledVsTreeOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompiledVsTreeOracle, LeesAndCleesAgreeWithTreeWalk) {
+  const std::uint64_t seed = GetParam();
+  Rng rng{seed};
+
+  Simulator sim;
+  SimHost host{sim};
+  host.set_variable("v", rng.uniform(0.0, 1.0));
+  if (rng.bernoulli(0.5)) host.set_variable("w", rng.uniform(-2.0, 2.0));
+  // `u` stays unbound for the whole run: subscriptions referencing it can
+  // never match, in both the compiled engines and the tree-walking oracle.
+
+  const char* const shapes[] = {
+      "x <= max(v, 0.2) * 10 + t",
+      "x >= min(3 * v, w) - abs(w)",
+      "x <= sqrt(abs(w) + 1) * 5; y >= sin(t) + cos(v)",
+      "x <= clamp(2 * v, 0, 1) * 20",
+      "x >= step(w) * 8 + v ^ 2",
+      "x <= floor(10 * v) + ceil(t / 2)",
+      "x <= u * 2 + v",
+      "x != (v - v) / (v - v)",  // 0/0 -> NaN operand: kNe matches
+  };
+  std::vector<SubscriptionPtr> subs;
+  const int n = 40;
+  for (int i = 1; i <= n; ++i) {
+    // Negligible TT: every CLEES probe re-materialises, so the cache cannot
+    // mask a compiled-vs-tree divergence behind legitimate staleness.
+    subs.push_back(testutil::make_sub(
+        static_cast<std::uint64_t>(i),
+        std::string("[tt=0.0000001] ") + shapes[rng.uniform_int(0, 7)]));
+  }
+
+  EngineConfig lees_cfg{.kind = EngineKind::kLees};
+  EngineConfig clees_cfg{.kind = EngineKind::kClees, .default_tt = Duration::micros(1)};
+  LeesEngine lees{lees_cfg};
+  CleesEngine clees{clees_cfg};
+  for (const auto& sub : subs) {
+    const NodeId dest{sub->id().value()};
+    lees.add(sub, dest, host);
+    clees.add(sub, dest, host);
+  }
+
+  for (int round = 0; round < 30; ++round) {
+    sim.run_until(sim.now() + Duration::millis(100));
+    if (rng.bernoulli(0.3)) host.set_variable("v", rng.uniform(0.0, 1.0));
+    if (rng.bernoulli(0.2)) host.set_variable("w", rng.uniform(-2.0, 2.0));
+    Publication pub{{"x", Value{rng.uniform(-15.0, 25.0)}},
+                    {"y", Value{rng.uniform(-2.0, 2.0)}}};
+    pub.set_entry_time(sim.now());
+
+    std::vector<NodeId> expected;
+    for (const auto& sub : subs) {
+      const EvalScope scope = sub->scope(&host.variables(), sim.now());
+      bool all = true;
+      for (const auto& p : sub->predicates()) {
+        const Value* value = pub.get(p.attribute());
+        if (value == nullptr || !p.matches(*value, scope)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) expected.push_back(NodeId{sub->id().value()});
+    }
+    std::sort(expected.begin(), expected.end());
+
+    std::vector<NodeId> lees_dests;
+    lees.match(pub, nullptr, host, lees_dests);
+    ASSERT_EQ(lees_dests, expected) << "seed " << seed << " round " << round;
+
+    std::vector<NodeId> clees_dests;
+    clees.match(pub, nullptr, host, clees_dests);
+    ASSERT_EQ(clees_dests, expected) << "seed " << seed << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledVsTreeOracle,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107, 108));
+
 }  // namespace
 }  // namespace evps

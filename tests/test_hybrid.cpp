@@ -133,7 +133,7 @@ TEST_F(HybridTest, SnapshotBypassesVersions) {
   EXPECT_TRUE(match(engine, host, parse_publication("x = 5")).empty());
   Publication pub = parse_publication("x = 5");
   pub.set_entry_time(sim.now());
-  const VariableSnapshot snapshot{{"v", 1.0}};
+  const VariableSnapshot snapshot = make_variable_snapshot({{"v", 1.0}});
   EXPECT_EQ(match(engine, host, pub, &snapshot).size(), 1u);
 }
 

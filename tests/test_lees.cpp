@@ -124,7 +124,7 @@ TEST_F(LeesTest, SnapshotOverridesLocalState) {
   Publication pub = parse_publication("x = 5");
   pub.set_entry_time(sim.now());
   EXPECT_TRUE(match(engine, host, pub).empty());  // local v = 0.1 -> x <= 1
-  const VariableSnapshot snapshot{{"v", 1.0}};
+  const VariableSnapshot snapshot = make_variable_snapshot({{"v", 1.0}});
   EXPECT_EQ(match(engine, host, pub, &snapshot).size(), 1u);  // snapshot v = 1
 }
 

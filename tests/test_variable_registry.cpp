@@ -78,8 +78,9 @@ TEST(VariableRegistry, Names) {
 TEST(VariableRegistry, ListenerFiresOnSet) {
   VariableRegistry reg;
   std::vector<std::pair<std::string, double>> seen;
-  const auto id = reg.add_listener(
-      [&](const std::string& name, double value, SimTime) { seen.emplace_back(name, value); });
+  const auto id = reg.add_listener([&](VarId var, double value, SimTime) {
+    seen.emplace_back(VariableTable::instance().name(var), value);
+  });
   reg.set("v", 0.7, sec(1));
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0].first, "v");

@@ -144,7 +144,7 @@ TEST_F(VesTest, SubscriptionEpochAnchorsTime) {
 TEST_F(VesTest, SnapshotIgnoredByDesign) {
   engine.add(make_sub(1, "[mei=1] x <= 2 * t"), NodeId{1}, host);
   sim.run_until(sec(1.1));  // version x <= 2
-  VariableSnapshot snapshot{{"t", 100.0}};  // would imply x <= 200
+  VariableSnapshot snapshot = make_variable_snapshot({{"t", 100.0}});  // would imply x <= 200
   std::vector<NodeId> dests;
   engine.match(parse_publication("x = 50"), &snapshot, host, dests);
   EXPECT_TRUE(dests.empty());  // VES cannot honour snapshots (Section V-D)
