@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 entry point: configure, build and test every preset, run clang-tidy
+# (when installed), and smoke-run the benchmarks. CI and pre-merge checks run
+# exactly this script; a clean exit means the change is green across the
+# default build, ASan+UBSan, and TSan.
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   default preset only (skip sanitizers, lint and bench smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+run_preset() {
+  local preset="$1"
+  echo "=== preset: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  ctest --preset "${preset}"
+}
+
+run_preset default
+
+if [[ "${QUICK}" == "0" ]]; then
+  run_preset sanitize
+  run_preset sanitize-thread
+
+  echo "=== lint (clang-tidy) ==="
+  cmake --build build --target lint -j "${JOBS}"
+
+  echo "=== bench-smoke ==="
+  # One pass over every benchmark binary with minimal repetitions: catches
+  # crashes and assertion failures without paying for stable timings.
+  for bench in build/bench/*; do
+    [[ -x "${bench}" ]] || continue
+    "${bench}" --benchmark_min_time=0.01s --benchmark_repetitions=1 >/dev/null
+    echo "ok: ${bench}"
+  done
+fi
+
+echo "All checks passed."

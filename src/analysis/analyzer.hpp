@@ -1,0 +1,104 @@
+// Subscribe-time static analysis of subscriptions.
+//
+// Combines the ExprProgram verifier (analysis/verifier.hpp) and the interval
+// domain (analysis/interval.hpp) into per-subscription verdicts the broker
+// acts on before a subscription reaches an engine:
+//
+//   kMalformed      a compiled predicate program fails verification — never
+//                   installable (would hit unchecked stack accesses).
+//   kUnsatisfiable  no publication can ever match, for any reachable
+//                   evolution-variable values — installing it only burns
+//                   matcher cycles on every publication.
+//   kAdUncovered    satisfiable in principle, but provably disjoint from
+//                   every known advertisement — under advertisement routing
+//                   no covered publication can reach it.
+//   kConstant       every evolving predicate's bound is a single provable
+//                   value — the subscription can be folded to a static one
+//                   and skip the lazy-evaluation path entirely.
+//   kOk             none of the above.
+//
+// Verdicts are ordered most-severe-first; analysis returns the most severe
+// applicable one. Soundness: kUnsatisfiable/kAdUncovered are only reported
+// when *provable* from declared variable ranges (VariableRegistry::
+// declare_range) and t >= 0; kConstant folds are bit-identical to what lazy
+// evaluation would produce (see interval.hpp's point-exactness contract).
+// Undeclared variables degrade to "any value including NaN" and simply make
+// verdicts less precise, never wrong.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.hpp"
+#include "analysis/verifier.hpp"
+#include "expr/variable_registry.hpp"
+#include "message/advertisement.hpp"
+#include "message/subscription.hpp"
+
+namespace evps {
+
+enum class Verdict : std::uint8_t { kOk, kConstant, kAdUncovered, kUnsatisfiable, kMalformed };
+
+[[nodiscard]] std::string_view to_string(Verdict v) noexcept;
+
+/// Severity order for combining verdicts (kMalformed most severe).
+[[nodiscard]] constexpr int severity(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kOk: return 0;
+    case Verdict::kConstant: return 1;
+    case Verdict::kAdUncovered: return 2;
+    case Verdict::kUnsatisfiable: return 3;
+    case Verdict::kMalformed: return 4;
+  }
+  return 0;
+}
+
+/// VarBounds over a registry's declared ranges: `t` maps to [0, +inf)
+/// (elapsed time since subscription epoch is never negative), declared
+/// variables to their range, everything else to unknown (any double or NaN).
+class RegistryVarBounds final : public VarBounds {
+ public:
+  explicit RegistryVarBounds(const VariableRegistry& registry) noexcept : registry_(&registry) {}
+  [[nodiscard]] Interval bounds(VarId var) const override;
+
+ private:
+  const VariableRegistry* registry_;
+};
+
+struct PredicateAnalysis {
+  bool evolving = false;
+  /// Bound-value interval (evolving predicates only; top for static).
+  Interval interval = Interval::top();
+  /// References the elapsed-time variable `t`.
+  bool time_dependent = false;
+  /// Bound provably a single value for all reachable variable assignments.
+  [[nodiscard]] bool constant_bound() const noexcept { return interval.is_point(); }
+};
+
+struct SubscriptionAnalysis {
+  Verdict verdict = Verdict::kOk;
+  /// Human-readable explanation for any non-kOk verdict.
+  std::string diagnostic;
+  /// Parallel to Subscription::predicates().
+  std::vector<PredicateAnalysis> predicates;
+  /// Any evolving predicate references `t` (bounds drift with wall time even
+  /// when no discrete variable changes). CLEES uses !time_dependent to
+  /// extend TT cache windows across unchanged registry versions.
+  bool time_dependent = false;
+  /// Every evolving predicate has a provably constant bound.
+  bool constant_bounds = false;
+  /// Static equivalent, present iff verdict == kConstant: evolving
+  /// predicates replaced by their folded values (bit-identical to lazy
+  /// evaluation), metadata preserved.
+  std::optional<Subscription> folded;
+};
+
+/// Analyze `sub` against declared variable ranges in `registry`. When `ads`
+/// is non-empty, also checks advertisement coverage (pass the broker's known
+/// advertisements under advertisement routing; leave empty under flooding).
+[[nodiscard]] SubscriptionAnalysis analyze_subscription(
+    const Subscription& sub, const VariableRegistry& registry,
+    const std::vector<const Advertisement*>& ads = {});
+
+}  // namespace evps

@@ -1,0 +1,105 @@
+#include "analysis/verifier.hpp"
+
+#include <cstdint>
+
+namespace evps {
+namespace {
+
+using Op = ExprProgram::Op;
+
+VerifyResult fail(std::size_t index, std::string message) {
+  VerifyResult r;
+  r.ok = false;
+  r.message = std::move(message);
+  r.insn_index = index;
+  return r;
+}
+
+std::string at(std::size_t index) { return " (insn " + std::to_string(index) + ")"; }
+
+}  // namespace
+
+VerifyResult verify_program(const ExprProgram& prog) noexcept {
+  const auto& code = prog.code();
+  if (code.empty()) return fail(0, "empty program");
+
+  std::size_t depth = 0;
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const ExprProgram::Insn& insn = code[i];
+    // The enum is contiguous; anything past the last opcode is a raw byte
+    // smuggled in through assemble() or a corrupted buffer.
+    if (static_cast<std::uint8_t>(insn.op) > static_cast<std::uint8_t>(Op::kStep)) {
+      return fail(i, "invalid opcode " + std::to_string(static_cast<unsigned>(insn.op)) + at(i));
+    }
+    std::size_t pops = 0;
+    switch (insn.op) {
+      case Op::kPushConst:
+        break;
+      case Op::kLoadVar:
+        if (insn.var == kInvalidVarId || insn.var >= VariableTable::instance().size()) {
+          return fail(i, "load of unregistered VarId " + std::to_string(insn.var) + at(i));
+        }
+        break;
+      case Op::kNeg:
+      case Op::kAbs:
+      case Op::kFloor:
+      case Op::kCeil:
+      case Op::kSqrt:
+      case Op::kSin:
+      case Op::kCos:
+      case Op::kSign:
+        pops = 1;
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kPow:
+        pops = 2;
+        break;
+      case Op::kMin:
+      case Op::kMax:
+        if (insn.argc == 0) return fail(i, "min/max with argc == 0" + at(i));
+        pops = insn.argc;
+        break;
+      case Op::kClamp:
+        if (insn.argc != 3) {
+          return fail(i, "clamp with argc " + std::to_string(insn.argc) + ", expected 3" + at(i));
+        }
+        pops = 3;
+        break;
+      case Op::kStep:
+        if (insn.argc != 1) {
+          return fail(i, "step with argc " + std::to_string(insn.argc) + ", expected 1" + at(i));
+        }
+        pops = 1;
+        break;
+    }
+    if (pops > depth) {
+      return fail(i, "stack underflow: need " + std::to_string(pops) + " operands, have " +
+                         std::to_string(depth) + at(i));
+    }
+    depth -= pops;
+    ++depth;  // every instruction pushes exactly one result
+    if (depth > peak) peak = depth;
+  }
+
+  if (depth != 1) {
+    return fail(code.size(),
+                "program leaves " + std::to_string(depth) + " values on the stack, expected 1");
+  }
+  if (prog.max_stack() < peak) {
+    return fail(code.size(), "declared max_stack " + std::to_string(prog.max_stack()) +
+                                 " understates actual peak depth " + std::to_string(peak));
+  }
+  return VerifyResult{};
+}
+
+void verify_or_throw(const ExprProgram& prog) {
+  const VerifyResult result = verify_program(prog);
+  if (!result.ok) throw VerifyError(result);
+}
+
+}  // namespace evps

@@ -1,0 +1,63 @@
+// ExprProgram verifier.
+//
+// `ExprProgram::eval` is a trusting stack machine: it indexes `stack.back()`
+// and `stack[base + i]` without bounds checks because the compiler
+// precomputes `max_stack()` and emits structurally sound postfix. That trust
+// is fine for programs produced by `ExprProgram::compile`, but programs can
+// also arrive assembled by tools or (in the future) deserialized off the
+// wire. The verifier is an abstract interpretation over stack *depths* that
+// proves, before a program is installed into LazyStorage/VES state:
+//
+//   * every instruction has its operands on the stack (no underflow);
+//   * n-ary argc fields are in range (kMin/kMax >= 1, kClamp == 3,
+//     kStep == 1) and the opcode byte itself is a known Op;
+//   * every kLoadVar names a VarId interned in the process-wide
+//     VariableTable (so EvalScope slot lookups cannot index out of range);
+//   * the program leaves exactly one value on the stack;
+//   * the declared max_stack() covers the actual peak depth, so the
+//     evaluator's reserve() is sufficient and pushes never reallocate
+//     mid-walk assumptions.
+//
+// Engines call verify_or_throw at install time; broker subscribe paths
+// surface the diagnostic and reject the subscription instead of asserting in
+// the per-publication hot path.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "expr/program.hpp"
+
+namespace evps {
+
+struct VerifyResult {
+  bool ok = true;
+  /// Human-readable diagnostic when !ok (empty otherwise).
+  std::string message;
+  /// Index of the offending instruction, or size() for whole-program faults
+  /// (empty program, wrong final depth, understated max_stack).
+  std::size_t insn_index = 0;
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Statically check `prog` against the invariants above. Never throws.
+[[nodiscard]] VerifyResult verify_program(const ExprProgram& prog) noexcept;
+
+class VerifyError : public std::runtime_error {
+ public:
+  explicit VerifyError(const VerifyResult& result)
+      : std::runtime_error("ExprProgram verification failed: " + result.message),
+        insn_index_(result.insn_index) {}
+
+  [[nodiscard]] std::size_t insn_index() const noexcept { return insn_index_; }
+
+ private:
+  std::size_t insn_index_;
+};
+
+/// Install-time gate: throws VerifyError with the diagnostic on failure.
+void verify_or_throw(const ExprProgram& prog);
+
+}  // namespace evps

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analyzer.hpp"
 #include "common/logging.hpp"
 
 namespace evps {
@@ -103,12 +104,58 @@ void Broker::handle_subscribe(const SubscribeMsg& msg, NodeId from) {
   ++stats_.subscribes;
   if (!msg.sub) return;
   if (engine_->contains(msg.sub->id())) return;  // duplicate (cycle guard)
-  engine_->add(msg.sub, from, *this, broker_neighbors_.contains(from));
-  auto targets = subscription_forward_targets(*msg.sub, from);
+  const SubscriptionPtr install = analyze_incoming(msg.sub);
+  if (!install) return;  // rejected: not installed, not forwarded
+  engine_->add(install, from, *this, broker_neighbors_.contains(from));
+  // Forward what was installed: a folded subscription is provably equivalent
+  // and lets downstream brokers skip the lazy path too.
+  auto targets = subscription_forward_targets(*install, from);
   for (const auto target : targets) {
-    net_.send(node_id(), target, SubscribeMsg{msg.sub});
+    net_.send(node_id(), target, SubscribeMsg{install});
   }
-  sub_forwards_.emplace(msg.sub->id(), std::move(targets));
+  sub_forwards_.emplace(install->id(), std::move(targets));
+}
+
+SubscriptionPtr Broker::analyze_incoming(const SubscriptionPtr& sub) {
+  if (config_.analysis == AnalysisPolicy::kOff || !sub->is_evolving()) return sub;
+  ++analysis_counters_.analyzed;
+  std::vector<const Advertisement*> ads;
+  if (config_.routing == RoutingMode::kAdvertisement) {
+    ads.reserve(adverts_.size());
+    for (const auto& [id, entry] : adverts_) ads.push_back(entry.first.get());
+  }
+  const SubscriptionAnalysis analysis = analyze_subscription(*sub, registry_, ads);
+  const bool enforce = config_.analysis == AnalysisPolicy::kEnforce;
+  switch (analysis.verdict) {
+    case Verdict::kMalformed:
+      ++analysis_counters_.rejected_malformed;
+      EVPS_WARN(name_, "subscription ", sub->id(), " malformed: ", analysis.diagnostic);
+      if (enforce) return nullptr;
+      break;
+    case Verdict::kUnsatisfiable:
+      ++analysis_counters_.rejected_unsatisfiable;
+      EVPS_WARN(name_, "subscription ", sub->id(), " unsatisfiable: ", analysis.diagnostic);
+      if (enforce) return nullptr;
+      break;
+    case Verdict::kAdUncovered:
+      // Satisfiable, so it stays installed (a covering advertisement may
+      // still arrive) — but flagged: it cannot match today.
+      ++analysis_counters_.flagged_uncovered;
+      EVPS_WARN(name_, "subscription ", sub->id(), " uncovered: ", analysis.diagnostic);
+      break;
+    case Verdict::kConstant:
+      // Folding anchors bounds at broker-local install-time state; under
+      // snapshot consistency a publication may legitimately evaluate under
+      // an earlier snapshot, so keep the lazy path there.
+      if (enforce && !config_.snapshot_consistency) {
+        ++analysis_counters_.folded_constant;
+        return std::make_shared<const Subscription>(*analysis.folded);
+      }
+      break;
+    case Verdict::kOk:
+      break;
+  }
+  return sub;
 }
 
 void Broker::handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from) {

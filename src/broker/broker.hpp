@@ -19,11 +19,20 @@
 #include "common/ids.hpp"
 #include "evolving/engine.hpp"
 #include "expr/variable_registry.hpp"
+#include "metrics/analysis_counters.hpp"
 #include "sim/network.hpp"
 
 namespace evps {
 
 enum class RoutingMode { kFlooding, kAdvertisement };
+
+/// What the broker does with subscribe-time static analysis verdicts
+/// (analysis/analyzer.hpp).
+enum class AnalysisPolicy {
+  kOff,      ///< analysis not run (engine install-gate verification remains)
+  kWarn,     ///< log and count verdicts, install everything as-is
+  kEnforce,  ///< reject malformed/unsatisfiable, fold constant, flag uncovered
+};
 
 struct BrokerConfig {
   EngineConfig engine;
@@ -31,6 +40,11 @@ struct BrokerConfig {
   /// Piggyback a snapshot of evolution-variable values on publications at
   /// their entry broker (Section V-D extension; effective for LEES/CLEES).
   bool snapshot_consistency = false;
+  /// Subscribe-time static analysis. Enforcement is behaviour-preserving for
+  /// well-formed satisfiable subscriptions: verdicts beyond kOk only fire
+  /// when provable from declared variable ranges, and constant folds are
+  /// bit-identical to lazy evaluation.
+  AnalysisPolicy analysis = AnalysisPolicy::kEnforce;
 };
 
 struct BrokerStats {
@@ -98,6 +112,9 @@ class Broker final : public NetworkNode, public EngineHost {
   [[nodiscard]] BrokerEngine& engine() noexcept { return *engine_; }
   [[nodiscard]] const BrokerEngine& engine() const noexcept { return *engine_; }
   [[nodiscard]] const BrokerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const AnalysisCounters& analysis_counters() const noexcept {
+    return analysis_counters_;
+  }
   void reset_stats() noexcept { stats_.reset(); }
   [[nodiscard]] const BrokerConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t subscription_count() const noexcept { return engine_->size(); }
@@ -115,6 +132,11 @@ class Broker final : public NetworkNode, public EngineHost {
   [[nodiscard]] std::vector<NodeId> subscription_forward_targets(const Subscription& sub,
                                                                  NodeId from) const;
 
+  /// Run subscribe-time static analysis per BrokerConfig::analysis. Returns
+  /// the subscription to install/forward (possibly a constant fold) or null
+  /// when it must be rejected.
+  [[nodiscard]] SubscriptionPtr analyze_incoming(const SubscriptionPtr& sub);
+
   Network& net_;
   std::string name_;
   BrokerConfig config_;
@@ -131,6 +153,7 @@ class Broker final : public NetworkNode, public EngineHost {
   /// outlives the broker it captures.
   std::vector<TimerHandle> monitors_;
   BrokerStats stats_;
+  AnalysisCounters analysis_counters_;
 };
 
 }  // namespace evps

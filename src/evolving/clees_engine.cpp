@@ -1,8 +1,10 @@
 #include "evolving/clees_engine.hpp"
 
+#include "analysis/analyzer.hpp"
+
 namespace evps {
 
-void CleesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
+void CleesEngine::do_add(const Installed& entry, EngineHost& host) {
   const auto& sub = *entry.sub;
   if (!sub.is_evolving()) {
     matcher_->add(sub.id(), sub.predicates());
@@ -10,6 +12,15 @@ void CleesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
   }
   const auto static_part = sub.static_predicates();
   auto part = storage_.make_part(entry.sub, !static_part.empty());
+  if (config_.analysis_cache_windows) {
+    // Derive the cache-window class once, at install time, instead of
+    // re-deriving bounds per publication: provably-constant bounds never
+    // need re-materialisation, t-independent bounds only when a registry
+    // variable changed.
+    const SubscriptionAnalysis analysis = analyze_subscription(sub, host.variables());
+    part.extra.constant_bounds = analysis.verdict == Verdict::kConstant;
+    part.extra.time_invariant = !analysis.time_dependent;
+  }
   if (part.has_static_part) matcher_->add(sub.id(), static_part);
   storage_.add(std::move(part), entry.dest);
 }
@@ -52,7 +63,16 @@ void CleesEngine::do_match(const Publication& pub, const VariableSnapshot* snaps
       // Snapshot-consistency mode bypasses the cache: cached versions are
       // anchored at broker-local time, which a piggybacked snapshot
       // invalidates (the hybrid is future work in the paper).
-      if (snapshot == nullptr && now < part.extra.expires) {
+      bool valid = snapshot == nullptr && now < part.extra.expires;
+      if (!valid && snapshot == nullptr && part.extra.populated) {
+        // Analysis-sized windows: past TT, a version is still *exact* (not
+        // merely tolerated staleness) when re-materialisation would provably
+        // reproduce it bit-for-bit.
+        valid = part.extra.constant_bounds ||
+                (part.extra.time_invariant &&
+                 host.variables().global_version() == part.extra.seen_version);
+      }
+      if (valid) {
         ++costs_.cache_hits;
         matched = cached_bounds_match(part.preds, part.extra.bounds, pub);
       } else {
@@ -62,7 +82,11 @@ void CleesEngine::do_match(const Publication& pub, const VariableSnapshot* snaps
         auto& bounds = snapshot == nullptr ? part.extra.bounds : snapshot_bounds_;
         materialize_bounds(part.preds, scope, eval_stack_, bounds);
         matched = cached_bounds_match(part.preds, bounds, pub);
-        if (snapshot == nullptr) part.extra.expires = now + effective_tt(*part.sub);
+        if (snapshot == nullptr) {
+          part.extra.expires = now + effective_tt(*part.sub);
+          part.extra.populated = true;
+          part.extra.seen_version = host.variables().global_version();
+        }
       }
       if (matched) {
         destinations.push_back(dest);

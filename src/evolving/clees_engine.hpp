@@ -42,6 +42,18 @@ class CleesEngine final : public BrokerEngine {
   struct TtCache {
     std::vector<CachedBound> bounds;  // parallel to Part::preds
     SimTime expires = SimTime::zero();
+    /// A version has been materialised into `bounds` (expires alone cannot
+    /// tell: the analysis windows below outlive it).
+    bool populated = false;
+    /// Static analysis at install time (EngineConfig::analysis_cache_windows):
+    /// bounds provably constant for every reachable variable state — the
+    /// first materialised version never expires.
+    bool constant_bounds = false;
+    /// Bounds independent of `t`: a version stays exact until some registry
+    /// variable changes, however far past TT that is.
+    bool time_invariant = false;
+    /// VariableRegistry::global_version() when `bounds` was materialised.
+    std::uint64_t seen_version = 0;
   };
   using Storage = LazyStorage<TtCache>;
 

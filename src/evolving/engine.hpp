@@ -96,6 +96,13 @@ struct EngineConfig {
   /// positives on the forwarding path for the elimination of staleness
   /// false negatives. Versions for directly attached subscribers stay exact.
   bool overestimate_forwarding = false;
+  /// CLEES extension: size TT cache windows from static analysis
+  /// (analysis/analyzer.hpp) at install time. Parts whose bounds are
+  /// provably constant never expire; parts independent of `t` stay valid
+  /// past TT while no registry variable has changed. Both cases re-derive
+  /// bit-identical bounds, so this only skips provably redundant
+  /// re-materialisations — observable behaviour is unchanged.
+  bool analysis_cache_windows = true;
 };
 
 class BrokerEngine {

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/verifier.hpp"
 #include "common/ids.hpp"
 #include "expr/variable_registry.hpp"
 #include "message/messages.hpp"
@@ -93,13 +94,18 @@ class LazyStorage {
   };
 
   /// Build a part from an evolving subscription (compiles its predicates).
+  /// Every compiled program is verified before it can reach the evaluation
+  /// hot path (which runs without bounds checks); malformed programs throw
+  /// VerifyError and the part is never installed.
   [[nodiscard]] Part make_part(const SubscriptionPtr& sub, bool has_static_part) {
     Part part;
     part.id = sub->id();
     part.sub = sub;
     const auto& preds = sub->predicates();
     for (const auto& p : preds) {
-      if (p.is_evolving()) part.preds.emplace_back(p);
+      if (!p.is_evolving()) continue;
+      part.preds.emplace_back(p);
+      verify_or_throw(part.preds.back().program());
     }
     part.has_static_part = has_static_part;
     if (!free_slots_.empty()) {

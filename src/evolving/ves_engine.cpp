@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/verifier.hpp"
+
 namespace evps {
 
 VesEngine::~VesEngine() {
@@ -22,6 +24,9 @@ void VesEngine::do_add(const Installed& entry, EngineHost& host) {
   state.progs.reserve(sub.predicates().size());
   for (const auto& p : sub.predicates()) {
     state.progs.push_back(p.is_evolving() ? ExprProgram::compile(*p.fun()) : ExprProgram{});
+    // Gate before install: materialize_version runs these programs without
+    // bounds checks, so malformed ones must never enter the state table.
+    if (p.is_evolving()) verify_or_throw(state.progs.back());
     for (const VarId var : state.progs.back().variables()) state.vars.push_back(var);
   }
   std::sort(state.vars.begin(), state.vars.end());

@@ -63,7 +63,9 @@ class Lexer {
       case '/':
       case '%':
       case '^': current_ = Token{TokKind::kOp, text_.substr(pos_, 1), 0, pos_}; break;
-      default: throw ParseError("unexpected character '" + std::string(1, c) + "'", pos_);
+      default:
+        throw ParseError("unexpected character '" + std::string(1, c) + "'", pos_,
+                         std::string(1, c));
     }
     ++pos_;
   }
@@ -73,7 +75,9 @@ class Lexer {
     const char* end = text_.data() + text_.size();
     double value = 0;
     auto [p, ec] = std::from_chars(begin, end, value);
-    if (ec != std::errc{}) throw ParseError("malformed number", pos_);
+    if (ec != std::errc{}) {
+      throw ParseError("malformed number", pos_, std::string(1, text_[pos_]));
+    }
     current_ = Token{TokKind::kNumber, text_.substr(pos_, static_cast<std::size_t>(p - begin)),
                      value, pos_};
     pos_ += static_cast<std::size_t>(p - begin);
@@ -106,7 +110,8 @@ class Parser {
     ExprPtr e = parse_sum();
     const Token& t = lexer_.peek();
     if (t.kind != TokKind::kEnd) {
-      throw ParseError("unexpected trailing input '" + std::string(t.text) + "'", t.offset);
+      throw ParseError("unexpected trailing input '" + std::string(t.text) + "'", t.offset,
+                       std::string(t.text));
     }
     return e;
   }
@@ -172,7 +177,8 @@ class Parser {
         return Expr::variable(std::string(t.text));
       }
       default:
-        throw ParseError("expected a number, variable, function call or '('", t.offset);
+        throw ParseError("expected a number, variable, function call or '('", t.offset,
+                         std::string(t.text));
     }
   }
 
@@ -190,7 +196,8 @@ class Parser {
 
     const auto unary_fn = [&](UnaryOp op) {
       if (args.size() != 1) {
-        throw ParseError(std::string(name.text) + " expects 1 argument", name.offset);
+        throw ParseError(std::string(name.text) + " expects 1 argument", name.offset,
+                         std::string(name.text));
       }
       return fold(Expr::unary(op, std::move(args[0])));
     };
@@ -198,7 +205,7 @@ class Parser {
       try {
         return fold(Expr::call(fn, std::move(args)));
       } catch (const std::invalid_argument& e) {
-        throw ParseError(e.what(), name.offset);
+        throw ParseError(e.what(), name.offset, std::string(name.text));
       }
     };
 
@@ -213,12 +220,15 @@ class Parser {
     if (name.text == "max") return nary_fn(CallFn::kMax);
     if (name.text == "clamp") return nary_fn(CallFn::kClamp);
     if (name.text == "step") return nary_fn(CallFn::kStep);
-    throw ParseError("unknown function '" + std::string(name.text) + "'", name.offset);
+    throw ParseError("unknown function '" + std::string(name.text) + "'", name.offset,
+                     std::string(name.text));
   }
 
   void expect(TokKind kind, std::string_view what) {
     const Token t = lexer_.take();
-    if (t.kind != kind) throw ParseError("expected '" + std::string(what) + "'", t.offset);
+    if (t.kind != kind) {
+      throw ParseError("expected '" + std::string(what) + "'", t.offset, std::string(t.text));
+    }
   }
 
   Lexer lexer_;

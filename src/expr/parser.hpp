@@ -20,17 +20,26 @@
 
 namespace evps {
 
-/// Parse failure description with the byte offset of the offending token.
+/// Parse failure description carrying the byte offset *and* the offending
+/// token, so tools (evps-lint) can print caret diagnostics pointing at the
+/// exact source span instead of re-lexing the input.
 class ParseError : public std::runtime_error {
  public:
-  ParseError(std::string message, std::size_t offset)
+  ParseError(std::string message, std::size_t offset, std::string token = {})
       : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
-        offset_(offset) {}
+        offset_(offset),
+        token_(std::move(token)) {}
 
+  /// Byte offset of the offending token within the parsed text.
   [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+  /// Text of the offending token; empty when the failure is at end of input
+  /// (e.g. a truncated expression).
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
 
  private:
   std::size_t offset_;
+  std::string token_;
 };
 
 /// Parse `text` into an expression tree. Throws ParseError on malformed

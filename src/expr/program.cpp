@@ -92,6 +92,13 @@ ExprProgram ExprProgram::compile(const Expr& expr) {
   return prog;
 }
 
+ExprProgram ExprProgram::assemble(std::vector<Insn> code, std::size_t max_stack) {
+  ExprProgram prog;
+  prog.code_ = std::move(code);
+  prog.max_stack_ = max_stack;
+  return prog;
+}
+
 double ExprProgram::eval(const EvalScope& scope, std::vector<double>& stack) const {
   if (code_.empty()) throw std::logic_error("evaluating an empty ExprProgram");
   stack.clear();

@@ -53,6 +53,12 @@ class ExprProgram {
   [[nodiscard]] static ExprProgram compile(const Expr& expr);
   [[nodiscard]] static ExprProgram compile(const ExprPtr& expr) { return compile(*expr); }
 
+  /// Build a program from raw instructions without any checking. For tests
+  /// and tools that need to construct malformed programs on purpose; real
+  /// code paths go through compile() + verify_program (analysis/verifier.hpp)
+  /// before evaluating.
+  [[nodiscard]] static ExprProgram assemble(std::vector<Insn> code, std::size_t max_stack);
+
   /// Evaluate against `scope` using `stack` as scratch (cleared on entry;
   /// grown to max_stack() once, then reused allocation-free). Throws
   /// UnboundVariableError exactly when the tree walker would.

@@ -1,12 +1,18 @@
 #include "expr/variable_registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace evps {
 
 void VariableRegistry::set(VarId var, double value, SimTime when) {
   if (var == kInvalidVarId) throw std::invalid_argument("cannot set an invalid VarId");
+  if (var < ranges_.size() && ranges_[var].declared &&
+      !(ranges_[var].lo <= value && value <= ranges_[var].hi)) {
+    throw std::invalid_argument("value for variable '" + VariableTable::instance().name(var) +
+                                "' violates its declared range");
+  }
   if (var >= vars_.size()) vars_.resize(var + 1);
   auto& changes = vars_[var].changes;
   if (!changes.empty() && when < changes.back().first) {
@@ -64,6 +70,32 @@ void VariableRegistry::for_each_latest(const std::function<void(VarId, double)>&
   for (VarId var = 0; var < vars_.size(); ++var) {
     if (!vars_[var].changes.empty()) fn(var, vars_[var].changes.back().second);
   }
+}
+
+void VariableRegistry::declare_range(VarId var, double lo, double hi) {
+  if (var == kInvalidVarId) throw std::invalid_argument("cannot declare an invalid VarId");
+  if (!std::isfinite(lo) || !std::isfinite(hi) || lo > hi) {
+    throw std::invalid_argument("declared range for variable '" +
+                                VariableTable::instance().name(var) +
+                                "' must be a finite interval with lo <= hi");
+  }
+  if (var < vars_.size()) {
+    for (const auto& change : vars_[var].changes) {
+      if (!(lo <= change.second && change.second <= hi)) {
+        throw std::invalid_argument("declared range for variable '" +
+                                    VariableTable::instance().name(var) +
+                                    "' excludes an already-recorded value");
+      }
+    }
+  }
+  if (var >= ranges_.size()) ranges_.resize(var + 1);
+  ranges_[var] = Range{lo, hi, true};
+}
+
+std::optional<std::pair<double, double>> VariableRegistry::declared_range(
+    VarId var) const noexcept {
+  if (var >= ranges_.size() || !ranges_[var].declared) return std::nullopt;
+  return std::make_pair(ranges_[var].lo, ranges_[var].hi);
 }
 
 VariableRegistry::ListenerId VariableRegistry::add_listener(Listener listener) {

@@ -102,6 +102,25 @@ class VariableRegistry {
   /// piggybacking).
   void for_each_latest(const std::function<void(VarId, double)>& fn) const;
 
+  // --- declared ranges (static analysis, broker-local) ----------------------
+  /// Declare that `var` only ever takes values in [lo, hi]. The static
+  /// analyzer (analysis/analyzer.hpp) uses declared ranges to bound evolving
+  /// predicates; `set` enforces the declaration from then on (out-of-range
+  /// updates throw std::invalid_argument). Bounds must be finite with
+  /// lo <= hi. Declarations are broker-local contract metadata — they are not
+  /// propagated on the wire.
+  void declare_range(VarId var, double lo, double hi);
+  void declare_range(std::string_view name, double lo, double hi) {
+    declare_range(VariableTable::instance().intern(name), lo, hi);
+  }
+
+  /// Declared [lo, hi] range of `var`, or nullopt if none was declared.
+  [[nodiscard]] std::optional<std::pair<double, double>> declared_range(VarId var) const noexcept;
+  [[nodiscard]] std::optional<std::pair<double, double>> declared_range(
+      std::string_view name) const noexcept {
+    return declared_range(VariableTable::instance().find(name));
+  }
+
   ListenerId add_listener(Listener listener);
   void remove_listener(ListenerId id);
 
@@ -110,9 +129,16 @@ class VariableRegistry {
     // (change time, value), strictly ordered by time. Later entries override.
     std::vector<std::pair<SimTime, double>> changes;
   };
+  struct Range {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool declared = false;
+  };
   // Histories indexed by process-wide VarId; ids this registry has never
   // seen hold empty histories (the variable universe is small and shared).
   std::vector<History> vars_;
+  // Declared ranges indexed by VarId (sparse; most slots undeclared).
+  std::vector<Range> ranges_;
   std::uint64_t global_version_ = 0;
   std::uint64_t next_listener_ = 1;
   std::map<ListenerId, Listener> listeners_;

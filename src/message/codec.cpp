@@ -108,7 +108,12 @@ Predicate parse_predicate(std::string_view text) {
   try {
     return Predicate{std::string(attr), op, parse_expr(operand)};
   } catch (const ParseError& e) {
-    throw CodecError("bad predicate operand '" + std::string(operand) + "': " + e.what());
+    // Rebase the expression-relative offset onto this predicate's text
+    // (operand is a view into it), keeping the offending token, so callers
+    // can point a caret at the exact source column.
+    const auto base = static_cast<std::size_t>(operand.data() - text.data());
+    throw CodecError("bad predicate operand '" + std::string(operand) + "': " + e.what(),
+                     base + e.offset(), e.token());
   }
 }
 
@@ -160,7 +165,14 @@ Subscription parse_subscription(std::string_view text) {
   for (const auto field : split_quoted(rest, ';')) {
     const auto trimmed = trim(field);
     if (trimmed.empty()) continue;
-    sub.add(parse_predicate(trimmed));
+    try {
+      sub.add(parse_predicate(trimmed));
+    } catch (const CodecError& e) {
+      if (!e.has_location()) throw;
+      // Rebase from predicate-relative to subscription-relative offset.
+      const auto base = static_cast<std::size_t>(trimmed.data() - text.data());
+      throw CodecError(e.what(), base + e.offset(), e.token());
+    }
   }
   if (sub.predicates().empty()) throw CodecError("subscription has no predicates");
   return sub;

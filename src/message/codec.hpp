@@ -22,7 +22,23 @@ namespace evps {
 
 class CodecError : public std::runtime_error {
  public:
+  /// offset() when no source location is known.
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
   using std::runtime_error::runtime_error;
+
+  /// Failure at a known byte offset within the parsed text, with the
+  /// offending token (propagated from ParseError for caret diagnostics).
+  CodecError(const std::string& message, std::size_t offset, std::string token)
+      : std::runtime_error(message), offset_(offset), token_(std::move(token)) {}
+
+  [[nodiscard]] bool has_location() const noexcept { return offset_ != kNoOffset; }
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
+
+ private:
+  std::size_t offset_ = kNoOffset;
+  std::string token_;
 };
 
 [[nodiscard]] std::string serialize(const Publication& pub);

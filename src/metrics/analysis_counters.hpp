@@ -1,0 +1,40 @@
+// Per-verdict counters for the subscribe-time static analysis (see
+// analysis/analyzer.hpp). Each broker owns one instance and bumps it in
+// handle_subscribe; the experiment harness aggregates and prints them via
+// print_analysis_report.
+//
+// Header-only and dependency-free on purpose: the broker includes this
+// without linking evps_metrics (which itself links the broker).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace evps {
+
+struct AnalysisCounters {
+  /// Evolving subscriptions that went through analysis.
+  std::uint64_t analyzed = 0;
+  /// Rejected: a compiled predicate program failed verification.
+  std::uint64_t rejected_malformed = 0;
+  /// Rejected: provably unsatisfiable for every reachable variable state.
+  std::uint64_t rejected_unsatisfiable = 0;
+  /// Installed as the folded static equivalent (lazy path skipped).
+  std::uint64_t folded_constant = 0;
+  /// Installed but flagged: provably disjoint from every advertisement.
+  std::uint64_t flagged_uncovered = 0;
+
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return rejected_malformed + rejected_unsatisfiable;
+  }
+
+  void reset() noexcept { *this = AnalysisCounters{}; }
+};
+
+/// Print one row per broker plus a totals row (Table format).
+class Broker;
+void print_analysis_report(const std::vector<const Broker*>& brokers,
+                           std::ostream& os);
+
+}  // namespace evps

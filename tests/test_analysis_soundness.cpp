@@ -1,0 +1,289 @@
+// Soundness of subscribe-time analysis (analysis/analyzer.hpp), checked the
+// only way abstract interpretation can be: against thousands of randomly
+// generated subscriptions, every verdict must be consistent with concrete
+// evaluation over sampled variable assignments and publication values.
+//
+//   * interval soundness — each evolving predicate's concretely evaluated
+//     bound always lies in its derived interval;
+//   * kUnsatisfiable / kAdUncovered — the subscription never matches any
+//     sampled publication (>= 10k probes accumulate across seeds, the
+//     uncovered ones probed with publications the advertisement covers);
+//   * kConstant — the folded static subscription is bit-identical to lazy
+//     evaluation and agrees with the original on every probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "expr/ast.hpp"
+#include "message/advertisement.hpp"
+#include "message/codec.hpp"
+#include "message/predicate.hpp"
+#include "message/publication.hpp"
+#include "message/subscription.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+constexpr int kVarCount = 4;
+const char* const kVarNames[] = {"as_v0", "as_v1", "as_v2", "as_v3"};
+const char* const kAttrs[] = {"sx", "sy"};
+
+struct VarDecl {
+  double lo = 0;
+  double hi = 0;
+  bool bound = false;  // has a value in the registry
+};
+
+ExprPtr random_expr(Rng& rng, int depth) {
+  if (depth <= 0 || rng.bernoulli(0.3)) {
+    const int pick = static_cast<int>(rng.uniform_int(0, 3));
+    if (pick == 0) return Expr::constant(rng.uniform(-8.0, 8.0));
+    if (pick == 1) return Expr::variable("t");
+    return Expr::variable(kVarNames[rng.uniform_int(0, kVarCount - 1)]);
+  }
+  switch (rng.uniform_int(0, 5)) {
+    case 0:
+    case 1:
+      return Expr::binary(static_cast<BinaryOp>(rng.uniform_int(0, 5)),
+                          random_expr(rng, depth - 1), random_expr(rng, depth - 1));
+    case 2:
+      return Expr::unary(static_cast<UnaryOp>(rng.uniform_int(0, 7)),
+                         random_expr(rng, depth - 1));
+    case 3: {
+      std::vector<ExprPtr> args;
+      const int n = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < n; ++i) args.push_back(random_expr(rng, depth - 1));
+      return Expr::call(rng.bernoulli(0.5) ? CallFn::kMin : CallFn::kMax, std::move(args));
+    }
+    case 4: {
+      std::vector<ExprPtr> args;
+      for (int i = 0; i < 3; ++i) args.push_back(random_expr(rng, depth - 1));
+      return Expr::call(CallFn::kClamp, std::move(args));
+    }
+    default:
+      return Expr::call(CallFn::kStep, {random_expr(rng, depth - 1)});
+  }
+}
+
+RelOp random_op(Rng& rng) { return static_cast<RelOp>(rng.uniform_int(0, 5)); }
+
+bool same_bits(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub || (std::isnan(a) && std::isnan(b));
+}
+
+bool matches_sub(const Subscription& sub, const Publication& pub, const EvalScope& scope) {
+  for (const Predicate& pred : sub.predicates()) {
+    const Value* v = pub.get(pred.attribute());
+    if (v == nullptr || !pred.matches(*v, scope)) return false;
+  }
+  return true;
+}
+
+TEST(AnalysisSoundness, VerdictsHoldOverSampledAssignments) {
+  std::uint64_t never_probes = 0;   // probes against unsat/uncovered subs
+  std::uint64_t unsat_seeds = 0;
+  std::uint64_t uncovered_seeds = 0;
+  std::uint64_t constant_seeds = 0;
+  std::uint64_t ok_seeds = 0;
+
+  for (std::uint64_t seed = 1; seed <= 1200; ++seed) {
+    Rng rng{seed};
+    VariableRegistry reg;
+    VarDecl decls[kVarCount];
+    for (int i = 0; i < kVarCount; ++i) {
+      decls[i].lo = rng.uniform(-10.0, 10.0);
+      // Degenerate ranges pin the variable and drive kConstant verdicts.
+      decls[i].hi = rng.bernoulli(0.3) ? decls[i].lo : decls[i].lo + rng.uniform(0.0, 10.0);
+      reg.declare_range(kVarNames[i], decls[i].lo, decls[i].hi);
+      decls[i].bound = rng.bernoulli(0.8);
+      if (decls[i].bound) {
+        reg.set(kVarNames[i], rng.uniform(decls[i].lo, decls[i].hi), SimTime::zero());
+      }
+    }
+
+    // The advertised publication space: a static box over both attributes.
+    Advertisement ad{MessageId{seed}, ClientId{1}, {}};
+    double ad_lo[2];
+    double ad_hi[2];
+    for (int a = 0; a < 2; ++a) {
+      ad_lo[a] = rng.uniform(-20.0, 10.0);
+      ad_hi[a] = ad_lo[a] + rng.uniform(0.0, 15.0);
+      ad.add(Predicate{kAttrs[a], RelOp::kGe, Value{ad_lo[a]}});
+      ad.add(Predicate{kAttrs[a], RelOp::kLe, Value{ad_hi[a]}});
+    }
+
+    Subscription sub;
+    sub.set_id(SubscriptionId{seed});
+    const int npreds = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < npreds; ++i) {
+      const char* attr = kAttrs[rng.uniform_int(0, 1)];
+      if (rng.bernoulli(0.35)) {
+        sub.add(Predicate{attr, random_op(rng), Value{rng.uniform(-20.0, 20.0)}});
+      } else {
+        sub.add(Predicate{attr, random_op(rng),
+                          random_expr(rng, static_cast<int>(rng.uniform_int(1, 4)))});
+      }
+    }
+
+    const auto analysis = analyze_subscription(sub, reg, {&ad});
+    ASSERT_NE(analysis.verdict, Verdict::kMalformed) << "seed " << seed;
+    switch (analysis.verdict) {
+      case Verdict::kUnsatisfiable: ++unsat_seeds; break;
+      case Verdict::kAdUncovered: ++uncovered_seeds; break;
+      case Verdict::kConstant: ++constant_seeds; break;
+      default: ++ok_seeds; break;
+    }
+
+    // Pre-compile evolving predicates once per seed.
+    std::vector<int> evolving_index;  // predicate index -> compiled index
+    std::vector<CompiledPredicate> compiled;
+    for (std::size_t i = 0; i < sub.predicates().size(); ++i) {
+      if (sub.predicates()[i].is_evolving()) {
+        evolving_index.push_back(static_cast<int>(i));
+        compiled.emplace_back(sub.predicates()[i]);
+      }
+    }
+
+    const int rounds =
+        (analysis.verdict == Verdict::kUnsatisfiable || analysis.verdict == Verdict::kAdUncovered)
+            ? 10
+            : 4;
+    std::vector<double> stack;
+    EvalScope scope;
+    double clock = 0.0;
+    for (int round = 0; round < rounds; ++round) {
+      clock += 1.0;
+      for (int i = 0; i < kVarCount; ++i) {
+        if (decls[i].bound) {
+          reg.set(kVarNames[i], rng.uniform(decls[i].lo, decls[i].hi), sec(clock));
+        }
+      }
+      const SimTime now = sec(clock + rng.uniform());
+      scope.rebind(&reg, now);
+      scope.set_epoch(SimTime::zero());
+
+      // Interval soundness + targeted probe values (the bounds themselves).
+      std::vector<double> probe_values{rng.uniform(-30.0, 30.0), ad_lo[0], ad_hi[1]};
+      for (std::size_t c = 0; c < compiled.size(); ++c) {
+        bool unbound = false;
+        const double b = compiled[c].bound(scope, stack, unbound);
+        if (!unbound) {
+          const auto& iv = analysis.predicates[evolving_index[c]].interval;
+          ASSERT_TRUE(iv.admits(b))
+              << "seed " << seed << ": bound " << b << " escapes [" << iv.lo << ", " << iv.hi
+              << "] nan=" << iv.maybe_nan << " for "
+              << sub.predicates()[evolving_index[c]].to_string();
+          probe_values.push_back(b);
+        }
+      }
+
+      for (const double px : probe_values) {
+        for (const double py : probe_values) {
+          Publication pub;
+          pub.set(kAttrs[0], Value{px});
+          pub.set(kAttrs[1], Value{py});
+          const bool matched = matches_sub(sub, pub, scope);
+          if (analysis.verdict == Verdict::kUnsatisfiable) {
+            ++never_probes;
+            ASSERT_FALSE(matched) << "seed " << seed << " matched unsat sub at t=" << clock;
+          } else if (analysis.verdict == Verdict::kAdUncovered) {
+            // Only publications inside the advertised space are promised to
+            // never match.
+            if (ad.covers(pub)) {
+              ++never_probes;
+              ASSERT_FALSE(matched)
+                  << "seed " << seed << " matched ad-uncovered sub at t=" << clock;
+            }
+          } else if (analysis.verdict == Verdict::kConstant) {
+            ASSERT_TRUE(analysis.folded.has_value());
+            ASSERT_EQ(matched, matches_sub(*analysis.folded, pub, scope))
+                << "seed " << seed << " fold diverges at t=" << clock;
+          }
+        }
+        // Probes covered by the ad, for uncovered subscriptions.
+        if (analysis.verdict == Verdict::kAdUncovered) {
+          Publication pub;
+          pub.set(kAttrs[0], Value{rng.uniform(ad_lo[0], ad_hi[0])});
+          pub.set(kAttrs[1], Value{rng.uniform(ad_lo[1], ad_hi[1])});
+          if (ad.covers(pub)) {
+            ++never_probes;
+            ASSERT_FALSE(matches_sub(sub, pub, scope)) << "seed " << seed;
+          }
+        }
+      }
+
+      // Bit-identical fold: each folded constant equals lazy evaluation.
+      if (analysis.verdict == Verdict::kConstant) {
+        for (std::size_t c = 0; c < compiled.size(); ++c) {
+          bool unbound = false;
+          const double lazy = compiled[c].bound(scope, stack, unbound);
+          ASSERT_FALSE(unbound) << "seed " << seed;
+          const auto& folded_pred = analysis.folded->predicates()[evolving_index[c]];
+          ASSERT_FALSE(folded_pred.is_evolving());
+          const auto folded_value = folded_pred.constant().numeric();
+          ASSERT_TRUE(folded_value.has_value());
+          ASSERT_TRUE(same_bits(*folded_value, lazy))
+              << "seed " << seed << ": folded " << *folded_value << " vs lazy " << lazy;
+        }
+      }
+    }
+  }
+
+  // The generator must exercise every verdict, and the never-match verdicts
+  // must survive a substantial number of probes.
+  EXPECT_GE(never_probes, 10000u);
+  EXPECT_GE(unsat_seeds, 20u);
+  EXPECT_GE(uncovered_seeds, 20u);
+  EXPECT_GE(constant_seeds, 20u);
+  EXPECT_GE(ok_seeds, 100u);
+}
+
+TEST(AnalysisSoundness, HandPickedVerdicts) {
+  VariableRegistry reg;
+  reg.declare_range("as_load", 0.0, 1.0);
+  reg.set("as_load", 0.5, SimTime::zero());
+  reg.declare_range("as_cap", 40.0, 40.0);
+  reg.set("as_cap", 40.0, SimTime::zero());
+
+  const auto analyze = [&](const char* text) {
+    Subscription sub = parse_subscription(text);
+    sub.set_id(SubscriptionId{1});
+    return analyze_subscription(sub, reg, {});
+  };
+
+  // Bound tops out at 30 < required 50.
+  const auto unsat = analyze("p <= 20 + 10 * as_load; p >= 50");
+  EXPECT_EQ(unsat.verdict, Verdict::kUnsatisfiable);
+
+  // Pinned variable: provably constant and folded to p <= 50.
+  const auto constant = analyze("p <= 10 + as_cap");
+  ASSERT_EQ(constant.verdict, Verdict::kConstant);
+  ASSERT_TRUE(constant.folded.has_value());
+  ASSERT_EQ(constant.folded->predicates().size(), 1u);
+  EXPECT_FALSE(constant.folded->predicates()[0].is_evolving());
+  ASSERT_TRUE(constant.folded->predicates()[0].constant().numeric().has_value());
+  EXPECT_EQ(*constant.folded->predicates()[0].constant().numeric(), 50.0);
+
+  // Plain drift with t: nothing to report.
+  const auto ok = analyze("p >= -3 + t; p <= 3 + t");
+  EXPECT_EQ(ok.verdict, Verdict::kOk);
+  EXPECT_TRUE(ok.time_dependent);
+
+  // Undeclared variable: bounds unknown, verdict stays kOk (never guess).
+  const auto undeclared = analyze("p <= 20 + 10 * as_mystery; p >= 50");
+  EXPECT_EQ(undeclared.verdict, Verdict::kOk);
+}
+
+}  // namespace
+}  // namespace evps

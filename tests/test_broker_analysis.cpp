@@ -1,0 +1,166 @@
+// Broker integration of subscribe-time analysis: verdicts drive install
+// decisions per BrokerConfig::analysis, per-verdict counters accumulate, and
+// the metrics report renders them.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "broker/overlay.hpp"
+#include "message/codec.hpp"
+#include "metrics/analysis_counters.hpp"
+
+namespace evps {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+BrokerConfig lees_config(AnalysisPolicy policy = AnalysisPolicy::kEnforce) {
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  cfg.analysis = policy;
+  return cfg;
+}
+
+struct BrokerAnalysisTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+
+  Broker& make_broker(AnalysisPolicy policy) {
+    Broker& broker = overlay.add_broker("b0", lees_config(policy));
+    // Declared ranges are what make verdicts provable.
+    broker.variables().declare_range("ba_load", 0.0, 1.0);
+    broker.variables().declare_range("ba_cap", 40.0, 40.0);
+    broker.set_variable_local("ba_load", 0.5);
+    broker.set_variable_local("ba_cap", 40.0);
+    return broker;
+  }
+};
+
+TEST_F(BrokerAnalysisTest, UnsatisfiableRejectedUnderEnforce) {
+  Broker& broker = make_broker(AnalysisPolicy::kEnforce);
+  PubSubClient& alice = overlay.add_client("alice");
+  alice.connect(broker, Duration::millis(1));
+  alice.subscribe("x <= 20 + 10 * ba_load; x >= 50");
+  sim.run_until(sec(0.1));
+  EXPECT_EQ(broker.subscription_count(), 0u);
+  EXPECT_EQ(broker.analysis_counters().analyzed, 1u);
+  EXPECT_EQ(broker.analysis_counters().rejected_unsatisfiable, 1u);
+  EXPECT_EQ(broker.analysis_counters().rejected(), 1u);
+}
+
+TEST_F(BrokerAnalysisTest, UnsatisfiableInstalledUnderWarn) {
+  Broker& broker = make_broker(AnalysisPolicy::kWarn);
+  PubSubClient& alice = overlay.add_client("alice");
+  alice.connect(broker, Duration::millis(1));
+  alice.subscribe("x <= 20 + 10 * ba_load; x >= 50");
+  sim.run_until(sec(0.1));
+  EXPECT_EQ(broker.subscription_count(), 1u);  // counted but not enforced
+  EXPECT_EQ(broker.analysis_counters().rejected_unsatisfiable, 1u);
+}
+
+TEST_F(BrokerAnalysisTest, ConstantBoundsFoldToStaticSubscription) {
+  Broker& broker = make_broker(AnalysisPolicy::kEnforce);
+  PubSubClient& alice = overlay.add_client("alice");
+  PubSubClient& pubber = overlay.add_client("pubber");
+  alice.connect(broker, Duration::millis(1));
+  pubber.connect(broker, Duration::millis(1));
+
+  const auto id = alice.subscribe("x <= 10 + ba_cap");
+  sim.run_until(sec(0.1));
+  ASSERT_EQ(broker.subscription_count(), 1u);
+  EXPECT_EQ(broker.analysis_counters().folded_constant, 1u);
+  const auto installed = broker.engine().subscription_of(id);
+  ASSERT_NE(installed, nullptr);
+  EXPECT_FALSE(installed->is_evolving());  // folded to x <= 50
+
+  pubber.publish("x = 49");
+  pubber.publish("x = 51");
+  sim.run_until(sec(1));
+  ASSERT_EQ(alice.deliveries().size(), 1u);
+  EXPECT_EQ(alice.deliveries()[0].pub.get("x")->as_int(), 49);
+}
+
+TEST_F(BrokerAnalysisTest, SatisfiableEvolvingSubscriptionUntouched) {
+  Broker& broker = make_broker(AnalysisPolicy::kEnforce);
+  PubSubClient& alice = overlay.add_client("alice");
+  PubSubClient& pubber = overlay.add_client("pubber");
+  alice.connect(broker, Duration::millis(1));
+  pubber.connect(broker, Duration::millis(1));
+
+  const auto id = alice.subscribe("x >= -3 + t; x <= 3 + t");
+  sim.run_until(sec(0.1));
+  ASSERT_EQ(broker.subscription_count(), 1u);
+  const auto installed = broker.engine().subscription_of(id);
+  ASSERT_NE(installed, nullptr);
+  EXPECT_TRUE(installed->is_evolving());
+  EXPECT_EQ(broker.analysis_counters().analyzed, 1u);
+  EXPECT_EQ(broker.analysis_counters().rejected(), 0u);
+  EXPECT_EQ(broker.analysis_counters().folded_constant, 0u);
+
+  pubber.publish("x = 1");
+  sim.run_until(sec(1));
+  EXPECT_EQ(alice.deliveries().size(), 1u);
+}
+
+TEST_F(BrokerAnalysisTest, UncoveredFlaggedButInstalled) {
+  BrokerConfig cfg = lees_config(AnalysisPolicy::kEnforce);
+  cfg.routing = RoutingMode::kAdvertisement;
+  Broker& broker = overlay.add_broker("b0", cfg);
+  broker.variables().declare_range("ba_load", 0.0, 1.0);
+  broker.set_variable_local("ba_load", 0.5);
+  PubSubClient& alice = overlay.add_client("alice");
+  PubSubClient& pubber = overlay.add_client("pubber");
+  alice.connect(broker, Duration::millis(1));
+  pubber.connect(broker, Duration::millis(1));
+
+  pubber.advertise({Predicate{"x", RelOp::kGe, Value{0.0}},
+                    Predicate{"x", RelOp::kLe, Value{100.0}}});
+  sim.run_until(sec(0.1));
+  alice.subscribe("x >= 150 + 10 * ba_load");
+  sim.run_until(sec(0.2));
+  EXPECT_EQ(broker.subscription_count(), 1u);  // flagged, not rejected
+  EXPECT_EQ(broker.analysis_counters().flagged_uncovered, 1u);
+  EXPECT_EQ(broker.analysis_counters().rejected(), 0u);
+}
+
+TEST_F(BrokerAnalysisTest, StaticSubscriptionsSkipAnalysis) {
+  Broker& broker = make_broker(AnalysisPolicy::kEnforce);
+  PubSubClient& alice = overlay.add_client("alice");
+  alice.connect(broker, Duration::millis(1));
+  alice.subscribe("x >= 0; x <= 10");
+  sim.run_until(sec(0.1));
+  EXPECT_EQ(broker.subscription_count(), 1u);
+  EXPECT_EQ(broker.analysis_counters().analyzed, 0u);
+}
+
+TEST_F(BrokerAnalysisTest, AnalysisOffInstallsEverything) {
+  Broker& broker = make_broker(AnalysisPolicy::kOff);
+  PubSubClient& alice = overlay.add_client("alice");
+  alice.connect(broker, Duration::millis(1));
+  alice.subscribe("x <= 20 + 10 * ba_load; x >= 50");
+  sim.run_until(sec(0.1));
+  EXPECT_EQ(broker.subscription_count(), 1u);
+  EXPECT_EQ(broker.analysis_counters().analyzed, 0u);
+}
+
+TEST_F(BrokerAnalysisTest, ReportRendersPerVerdictCounters) {
+  Broker& broker = make_broker(AnalysisPolicy::kEnforce);
+  PubSubClient& alice = overlay.add_client("alice");
+  alice.connect(broker, Duration::millis(1));
+  alice.subscribe("x <= 20 + 10 * ba_load; x >= 50");  // rejected
+  alice.subscribe("x <= 10 + ba_cap");                 // folded
+  alice.subscribe("x <= 3 + t");                       // ok
+  sim.run_until(sec(0.1));
+
+  std::ostringstream out;
+  print_analysis_report({&broker}, out);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("b0"), std::string::npos);
+  EXPECT_NE(report.find("unsat"), std::string::npos);
+  EXPECT_EQ(broker.analysis_counters().analyzed, 3u);
+  EXPECT_EQ(broker.analysis_counters().rejected_unsatisfiable, 1u);
+  EXPECT_EQ(broker.analysis_counters().folded_constant, 1u);
+}
+
+}  // namespace
+}  // namespace evps

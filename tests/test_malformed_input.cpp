@@ -1,0 +1,99 @@
+// Fuzz-style property test for the parse -> compile -> verify front door:
+// thousands of seeded random and truncated token streams must either parse
+// into an expression whose compiled program passes verification, or be
+// rejected cleanly via ParseError/try_parse_expr — never crash, corrupt
+// state, or produce an unverifiable program. Run it under the sanitize
+// presets (ASan+UBSan / TSan) to give "cleanly" teeth.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "common/rng.hpp"
+#include "expr/parser.hpp"
+#include "expr/program.hpp"
+
+namespace evps {
+namespace {
+
+/// Random token soup: mostly grammar tokens (so a fair share parses), with
+/// occasional junk bytes.
+std::string random_stream(Rng& rng) {
+  static const char* const kTokens[] = {
+      "1",    "2.5",  "-3",   "t",     "mi_v",  "mi_w", "+",    "-",     "*",
+      "/",    "%",    "^",    "(",     ")",     ",",    "min",  "max",   "clamp",
+      "step", "abs",  "sqrt", "floor", "ceil",  "sin",  "cos",  "sign",  "1e9",
+      "0.0",  "42",   ".5",   "e",     "..",    "1e",   "@",    "$",     "#",
+  };
+  constexpr int kCount = static_cast<int>(std::size(kTokens));
+  std::string out;
+  const int n = static_cast<int>(rng.uniform_int(1, 16));
+  for (int i = 0; i < n; ++i) {
+    if (i != 0 && rng.bernoulli(0.7)) out += ' ';
+    out += kTokens[rng.uniform_int(0, kCount - 1)];
+  }
+  return out;
+}
+
+/// A valid expression with a random prefix chopped off mid-token — the
+/// truncation shapes deserializers actually see.
+std::string truncated_stream(Rng& rng) {
+  static const char* const kValid[] = {
+      "min(1, 2 + t, clamp(mi_v, 0, 10))",
+      "-3 + 2 * step(t - 5)",
+      "sqrt(abs(mi_v)) ^ 2 % 7",
+      "max(1e3, floor(t / 60), ceil(0.5))",
+      "sign(sin(t) * cos(mi_w)) + 1",
+  };
+  const std::string full = kValid[rng.uniform_int(0, std::size(kValid) - 1)];
+  return full.substr(0, rng.uniform_int(0, full.size()));
+}
+
+TEST(MalformedInput, ParserCompilerVerifierRejectCleanly) {
+  std::uint64_t parsed = 0;
+  std::uint64_t rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 2000; ++seed) {
+    Rng rng{seed};
+    const std::string text = rng.bernoulli(0.5) ? random_stream(rng) : truncated_stream(rng);
+
+    std::string error;
+    const auto expr = try_parse_expr(text, &error);
+    if (!expr.has_value()) {
+      ++rejected;
+      EXPECT_FALSE(error.empty()) << "seed " << seed << ": '" << text << "'";
+      continue;
+    }
+    ++parsed;
+    const ExprProgram prog = ExprProgram::compile(**expr);
+    const auto r = verify_program(prog);
+    ASSERT_TRUE(r.ok) << "seed " << seed << ": '" << text << "' parsed but compiled to an "
+                      << "unverifiable program: " << r.message;
+  }
+  // The stream generators must exercise both outcomes heavily.
+  EXPECT_GT(parsed, 200u);
+  EXPECT_GT(rejected, 500u);
+}
+
+TEST(MalformedInput, ThrowingParserAgreesWithTryVariant) {
+  // Same streams through parse_expr: the thrown ParseError must carry an
+  // offset inside the text (or == size for end-of-input) and a token that
+  // actually occurs at that offset.
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    Rng rng{seed};
+    const std::string text = rng.bernoulli(0.5) ? random_stream(rng) : truncated_stream(rng);
+    try {
+      (void)parse_expr(text);
+    } catch (const ParseError& e) {
+      ASSERT_LE(e.offset(), text.size()) << "seed " << seed << ": '" << text << "'";
+      if (!e.token().empty()) {
+        ASSERT_EQ(text.compare(e.offset(), e.token().size(), e.token()), 0)
+            << "seed " << seed << ": '" << text << "' offset " << e.offset() << " token '"
+            << e.token() << "'";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evps

@@ -98,6 +98,65 @@ TEST(Parser, ErrorOffsetReported) {
   }
 }
 
+// Regression: ParseError must carry the offending token alongside the
+// offset, so tools can underline the exact source span (caret diagnostics)
+// without re-lexing the input.
+TEST(Parser, ErrorCarriesOffendingToken) {
+  const auto fail = [](std::string_view text) {
+    try {
+      (void)parse_expr(text);
+      ADD_FAILURE() << "expected ParseError for '" << text << "'";
+      return ParseError{"", 0};
+    } catch (const ParseError& e) {
+      return e;
+    }
+  };
+
+  const auto unexpected = fail("1 + $");
+  EXPECT_EQ(unexpected.offset(), 4u);
+  EXPECT_EQ(unexpected.token(), "$");
+
+  const auto trailing = fail("1 2");
+  EXPECT_EQ(trailing.offset(), 2u);
+  EXPECT_EQ(trailing.token(), "2");
+
+  const auto primary = fail("1 + * 2");
+  EXPECT_EQ(primary.offset(), 4u);
+  EXPECT_EQ(primary.token(), "*");
+
+  const auto arity = fail("abs(1, 2)");
+  EXPECT_EQ(arity.offset(), 0u);
+  EXPECT_EQ(arity.token(), "abs");
+
+  const auto nary = fail("3 + clamp(1, 2)");
+  EXPECT_EQ(nary.offset(), 4u);
+  EXPECT_EQ(nary.token(), "clamp");
+
+  const auto unknown = fail("frobnicate(1)");
+  EXPECT_EQ(unknown.offset(), 0u);
+  EXPECT_EQ(unknown.token(), "frobnicate");
+
+  const auto unclosed = fail("min(1, 2");
+  EXPECT_EQ(unclosed.offset(), 8u);
+  EXPECT_TRUE(unclosed.token().empty());  // failure at end of input
+
+  // The token always occurs at the reported offset of the original text.
+  const std::string_view text = "1 + (t * $)";
+  const auto located = fail(text);
+  ASSERT_FALSE(located.token().empty());
+  EXPECT_EQ(text.substr(located.offset(), located.token().size()), located.token());
+}
+
+TEST(Parser, MalformedNumberCarriesLocation) {
+  try {
+    (void)parse_expr("2 + .");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+    EXPECT_EQ(e.token(), ".");
+  }
+}
+
 TEST(Parser, TryParseVariant) {
   std::string error;
   EXPECT_TRUE(try_parse_expr("1 + t", &error).has_value());

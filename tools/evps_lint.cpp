@@ -1,0 +1,207 @@
+// evps-lint — offline static analysis of subscription scenarios.
+//
+// Runs the same subscribe-time analysis the broker applies
+// (analysis/analyzer.hpp) over a scenario file, printing one verdict per
+// subscription plus caret diagnostics for parse failures. Exits nonzero when
+// any subscription is malformed, unsatisfiable, or fails to parse, so the
+// tool slots into CI and pre-deployment checks.
+//
+// Scenario format (one directive per line, '#' starts a comment):
+//
+//   var <name> in [<lo>, <hi>]          declare an evolution-variable range
+//   var <name> = <value> in [<lo>, <hi>]    ... and set its current value
+//   adv <pred> [; <pred>]...            an advertisement (codec predicates)
+//   sub <subscription>                  a subscription (codec text language)
+//
+// Example:
+//   var load in [0, 1]
+//   adv price >= 0; price <= 100
+//   sub [tt=0.5] price <= 120 + 10 * load; price >= 150
+//
+// prints "unsatisfiable" for the subscription (price cannot exceed 130 yet
+// must reach 150) and exits 1.
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "common/sim_time.hpp"
+#include "message/codec.hpp"
+
+namespace {
+
+using namespace evps;
+
+struct LintContext {
+  std::string path;
+  VariableRegistry registry;
+  std::vector<Advertisement> ads;
+  int subscriptions = 0;
+  int errors = 0;
+};
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && (std::isspace(static_cast<unsigned char>(s.front())) != 0)) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (std::isspace(static_cast<unsigned char>(s.back())) != 0)) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Print "file:line: error: ..." followed by the offending line with a caret
+/// under the bad token. `offset` is relative to `body`, which starts at
+/// column `body_col` of `line`.
+void caret_diagnostic(const LintContext& ctx, int line_no, const std::string& line,
+                      std::size_t body_col, std::size_t offset, const std::string& token,
+                      const std::string& message) {
+  std::cerr << ctx.path << ":" << line_no << ": error: " << message << "\n";
+  std::cerr << "  " << line << "\n";
+  std::cerr << "  " << std::string(body_col + offset, ' ') << '^'
+            << std::string(token.size() > 1 ? token.size() - 1 : 0, '~') << "\n";
+}
+
+/// `var <name> [= <value>] in [<lo>, <hi>]`
+bool handle_var(LintContext& ctx, int line_no, const std::string& line, std::string_view body) {
+  std::istringstream in{std::string(body)};
+  std::string name;
+  std::string tok;
+  double value = 0;
+  bool has_value = false;
+  double lo = 0;
+  double hi = 0;
+  in >> name >> tok;
+  if (tok == "=") {
+    in >> value >> tok;
+    has_value = true;
+  }
+  char lbracket = 0;
+  char comma = 0;
+  char rbracket = 0;
+  in >> lbracket >> lo >> comma >> hi >> rbracket;
+  if (name.empty() || tok != "in" || lbracket != '[' || comma != ',' || rbracket != ']' ||
+      in.fail()) {
+    caret_diagnostic(ctx, line_no, line, 0, 0, "",
+                     "bad var directive (expected: var <name> [= <value>] in [<lo>, <hi>])");
+    return false;
+  }
+  try {
+    ctx.registry.declare_range(name, lo, hi);
+    if (has_value) ctx.registry.set(name, value, SimTime::zero());
+  } catch (const std::invalid_argument& e) {
+    caret_diagnostic(ctx, line_no, line, 0, 0, "", e.what());
+    return false;
+  }
+  return true;
+}
+
+bool handle_adv(LintContext& ctx, int line_no, const std::string& line, std::string_view body,
+                std::size_t body_col) {
+  try {
+    // Reuse the subscription grammar for the predicate list; metadata
+    // options make no sense on an advertisement and are rejected upstream.
+    const Subscription parsed = parse_subscription(body);
+    Advertisement adv(MessageId{static_cast<std::uint64_t>(ctx.ads.size() + 1)}, ClientId{0},
+                      parsed.predicates());
+    ctx.ads.push_back(std::move(adv));
+    return true;
+  } catch (const CodecError& e) {
+    caret_diagnostic(ctx, line_no, line, body_col, e.has_location() ? e.offset() : 0,
+                     e.has_location() ? e.token() : "", e.what());
+    return false;
+  }
+}
+
+bool handle_sub(LintContext& ctx, int line_no, const std::string& line, std::string_view body,
+                std::size_t body_col) {
+  Subscription sub;
+  try {
+    sub = parse_subscription(body);
+  } catch (const CodecError& e) {
+    caret_diagnostic(ctx, line_no, line, body_col, e.has_location() ? e.offset() : 0,
+                     e.has_location() ? e.token() : "", e.what());
+    return false;
+  }
+  ++ctx.subscriptions;
+  sub.set_id(SubscriptionId{static_cast<std::uint64_t>(ctx.subscriptions)});
+
+  std::vector<const Advertisement*> ads;
+  ads.reserve(ctx.ads.size());
+  for (const Advertisement& adv : ctx.ads) ads.push_back(&adv);
+  const SubscriptionAnalysis analysis = analyze_subscription(sub, ctx.registry, ads);
+
+  std::cout << ctx.path << ":" << line_no << ": sub " << ctx.subscriptions << ": "
+            << to_string(analysis.verdict);
+  if (!analysis.diagnostic.empty()) std::cout << " — " << analysis.diagnostic;
+  std::cout << "\n";
+  if (analysis.verdict == Verdict::kConstant && analysis.folded.has_value()) {
+    std::cout << "    folds to: " << serialize(*analysis.folded) << "\n";
+  }
+  return analysis.verdict != Verdict::kMalformed && analysis.verdict != Verdict::kUnsatisfiable;
+}
+
+int lint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "evps-lint: cannot open " << path << "\n";
+    return 2;
+  }
+  LintContext ctx;
+  ctx.path = path;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view rest = trim_view(line);
+    if (rest.empty() || rest.front() == '#') continue;
+    const auto space = rest.find_first_of(" \t");
+    const std::string_view directive = rest.substr(0, space);
+    std::string_view body =
+        space == std::string_view::npos ? std::string_view{} : trim_view(rest.substr(space));
+    const auto body_col =
+        body.empty() ? line.size() : static_cast<std::size_t>(body.data() - line.data());
+    bool ok = false;
+    if (directive == "var") {
+      ok = handle_var(ctx, line_no, line, body);
+    } else if (directive == "adv") {
+      ok = handle_adv(ctx, line_no, line, body, body_col);
+    } else if (directive == "sub") {
+      ok = handle_sub(ctx, line_no, line, body, body_col);
+    } else {
+      caret_diagnostic(ctx, line_no, line, 0, 0, "",
+                       "unknown directive '" + std::string(directive) +
+                           "' (expected var, adv or sub)");
+    }
+    if (!ok) ++ctx.errors;
+  }
+  if (ctx.errors != 0) {
+    std::cout << path << ": " << ctx.errors << " problem(s) in " << ctx.subscriptions
+              << " subscription(s)\n";
+    return 1;
+  }
+  std::cout << path << ": " << ctx.subscriptions << " subscription(s), no problems\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: evps-lint <scenario>...\n"
+              << "Statically analyzes subscription scenarios; see tools/evps_lint.cpp\n"
+              << "for the scenario format. Exits nonzero on unsatisfiable or malformed\n"
+              << "subscriptions.\n";
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc = std::max(rc, lint_file(argv[i]));
+  }
+  return rc;
+}
