@@ -37,6 +37,13 @@ evps_bench(fig10c_visibility)
 evps_bench(table1_summary)
 evps_bench(ablation_hybrid)
 evps_bench(ablation_matcher)
+evps_bench(routing_covering)
+# The covering-routing bench is cheap and self-checking (nonzero exit when
+# covering on/off delivery logs diverge): run it whole as a smoke test.
+add_test(NAME bench_smoke_routing_covering
+  COMMAND routing_covering ${CMAKE_BINARY_DIR}/bench/BENCH_routing.json
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+set_tests_properties(bench_smoke_routing_covering PROPERTIES LABELS bench-smoke)
 evps_gbench(micro_expr)
 # The 100k-subscription fill alone takes ~15s; keep it out of the smoke run.
 evps_gbench(micro_matcher --benchmark_filter=-BM_LargePopulationMatch.*)

@@ -1,0 +1,304 @@
+// Covering-based subscription routing: dissemination traffic and matcher
+// population, off vs on.
+//
+// Two clustered-subscriber workloads run on an advertisement-mode star
+// overlay (core + 4 edge brokers):
+//
+//   game — moving-interest zones: per edge broker, subscriber clusters pick
+//     a hotspot; one wide zone per cluster covers a pile of narrower (and
+//     evolving, load-scaled) zones from the same cluster.
+//   hft  — price bands: wide desk-level band subscriptions covering nested
+//     per-trader bands, plus exact duplicates (identical alert rules),
+//     which also exercises the engines' identical-predicate dedup.
+//
+// Each workload runs twice — BrokerConfig::covering off and on — with an
+// identical message script, including an unsubscribe wave that removes ~20%
+// of the coverers mid-run (uncover-on-remove re-dissemination). The runs
+// must produce bit-identical client delivery logs (checked; the bench exits
+// nonzero on divergence, so the bench-smoke ctest entry doubles as a
+// regression test), while the covering run must need fewer
+// subscription-dissemination messages and smaller matchers.
+//
+// Results are printed as tables and recorded in BENCH_routing.json
+// (argv[1] overrides the output path).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "broker/overlay.hpp"
+#include "common/rng.hpp"
+#include "message/codec.hpp"
+#include "metrics/covering_counters.hpp"
+#include "metrics/report.hpp"
+
+namespace {
+
+using namespace evps;
+
+constexpr int kEdges = 4;
+constexpr int kClustersPerEdge = 3;
+constexpr int kCoveredPerCluster = 6;
+
+struct RunStats {
+  std::uint64_t subscription_msgs = 0;
+  std::uint64_t matcher_population = 0;
+  std::uint64_t deduped_installs = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t suppressed = 0;
+  std::uint64_t demote_unsubscribes = 0;
+  std::uint64_t resubscribes = 0;
+  CoverStats pairs;
+  /// Flattened delivery log for the off/on equivalence check.
+  std::vector<std::string> delivery_log;
+};
+
+struct Workload {
+  std::string name;
+  std::string adv;                      // advertised publication space
+  std::vector<std::string> subs;        // subscription texts, cluster-ordered
+  std::vector<std::size_t> unsub_wave;  // indices unsubscribed mid-run
+  std::vector<std::string> pubs;        // publication texts
+};
+
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Clustered game zones: per cluster one wide [c-60, c+60] x/y box covering
+/// narrower static and load-scaled evolving zones around the same hotspot.
+Workload make_game_workload() {
+  Workload w;
+  w.name = "game";
+  w.adv = "x >= 0; x <= 1000; y >= 0; y <= 1000";
+  Rng rng{2024};
+  for (int e = 0; e < kEdges; ++e) {
+    for (int c = 0; c < kClustersPerEdge; ++c) {
+      const double cx = rng.uniform(100.0, 900.0);
+      const double cy = rng.uniform(100.0, 900.0);
+      std::vector<std::string> zones;
+      for (int s = 0; s < kCoveredPerCluster; ++s) {
+        const double r = rng.uniform(5.0, 40.0);
+        const double ox = rng.uniform(-15.0, 15.0);
+        const double oy = rng.uniform(-15.0, 15.0);
+        if (rng.bernoulli(0.3)) {
+          // Evolving zone: gz_load in [0, 1] keeps the envelope within the
+          // wide box (max reach 40 + 15 < 60).
+          zones.push_back("[tt=0.5] x >= " + fmt_num(cx + ox - r) + "; x <= " +
+                          fmt_num(cx + ox) + " + " + fmt_num(r * 0.5) + " * gz_load; y >= " +
+                          fmt_num(cy + oy - r) + "; y <= " + fmt_num(cy + oy + r));
+        } else {
+          zones.push_back("x >= " + fmt_num(cx + ox - r) + "; x <= " + fmt_num(cx + ox + r) +
+                          "; y >= " + fmt_num(cy + oy - r) + "; y <= " + fmt_num(cy + oy + r));
+        }
+      }
+      // Two narrow zones subscribe before the wide one: they start as roots
+      // and are demoted (retracted upstream) when the coverer arrives.
+      w.subs.push_back(zones[0]);
+      w.subs.push_back(zones[1]);
+      w.subs.push_back("x >= " + fmt_num(cx - 60) + "; x <= " + fmt_num(cx + 60) + "; y >= " +
+                       fmt_num(cy - 60) + "; y <= " + fmt_num(cy + 60));
+      const std::size_t coverer = w.subs.size() - 1;
+      if (rng.bernoulli(0.25)) w.unsub_wave.push_back(coverer);
+      for (int s = 2; s < kCoveredPerCluster; ++s) w.subs.push_back(zones[s]);
+      // Publications aimed at the cluster so deliveries are non-trivial.
+      for (int p = 0; p < 4; ++p) {
+        w.pubs.push_back("x = " + fmt_num(cx + rng.uniform(-70.0, 70.0)) +
+                         "; y = " + fmt_num(cy + rng.uniform(-70.0, 70.0)));
+      }
+    }
+  }
+  return w;
+}
+
+/// HFT price bands: desk-wide bands covering per-trader bands plus exact
+/// duplicate alert rules (identical predicates, multiple subscribers).
+Workload make_hft_workload() {
+  Workload w;
+  w.name = "hft";
+  w.adv = "price >= 0; price <= 1000";
+  Rng rng{7};
+  for (int e = 0; e < kEdges; ++e) {
+    for (int c = 0; c < kClustersPerEdge; ++c) {
+      const double base = rng.uniform(50.0, 900.0);
+      const std::string dup = "price >= " + fmt_num(base - 10) + "; price <= " +
+                              fmt_num(base + 10);
+      // The duplicate alert rules subscribe before the desk-wide band: the
+      // first becomes a root, is demoted on the coverer's arrival, and both
+      // exercise the engines' identical-predicate dedup.
+      w.subs.push_back(dup);
+      w.subs.push_back(dup);
+      w.subs.push_back("price >= " + fmt_num(base - 40) + "; price <= " + fmt_num(base + 40));
+      const std::size_t coverer = w.subs.size() - 1;
+      if (rng.bernoulli(0.25)) w.unsub_wave.push_back(coverer);
+      for (int s = 2; s < kCoveredPerCluster; ++s) {
+        if (rng.bernoulli(0.3)) {
+          // Volatility-scaled band: hf_vix in [0, 1] bounds the reach to 30.
+          w.subs.push_back("[tt=0.5] price >= " + fmt_num(base - 20) + "; price <= " +
+                           fmt_num(base) + " + 30 * hf_vix");
+        } else {
+          const double r = rng.uniform(5.0, 35.0);
+          w.subs.push_back("price >= " + fmt_num(base - r) + "; price <= " + fmt_num(base + r));
+        }
+      }
+      for (int p = 0; p < 4; ++p) {
+        w.pubs.push_back("price = " + fmt_num(base + rng.uniform(-50.0, 50.0)));
+      }
+    }
+  }
+  return w;
+}
+
+RunStats run(const Workload& w, bool covering_on) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  cfg.routing = RoutingMode::kAdvertisement;
+  cfg.covering = covering_on;
+  auto brokers = overlay.build_star(kEdges, cfg, Duration::millis(5));
+  for (auto* b : brokers) {
+    b->variables().declare_range("gz_load", 0.0, 1.0);
+    b->variables().declare_range("hf_vix", 0.0, 1.0);
+  }
+  brokers[0]->set_variable("gz_load", 0.5);
+  brokers[0]->set_variable("hf_vix", 0.3);
+
+  PubSubClient& publisher = overlay.add_client("pub");
+  publisher.connect(*brokers[1], Duration::millis(1));
+
+  std::vector<PubSubClient*> subscribers;
+  std::vector<SubscriptionId> sub_ids(w.subs.size());
+  const std::size_t per_edge = (w.subs.size() + kEdges - 1) / kEdges;
+  for (std::size_t i = 0; i < w.subs.size(); ++i) {
+    PubSubClient& c = overlay.add_client("sub" + std::to_string(i));
+    // Cluster-ordered: consecutive subscriptions land on the same edge.
+    c.connect(*brokers[1 + (i / per_edge) % kEdges], Duration::millis(1));
+    subscribers.push_back(&c);
+  }
+
+  sim.after(Duration::zero(), [&] {
+    publisher.advertise(parse_subscription(w.adv).predicates());
+  });
+  for (std::size_t i = 0; i < w.subs.size(); ++i) {
+    sim.after(Duration::seconds(1.0 + 0.01 * static_cast<double>(i)),
+              [&, i] { sub_ids[i] = subscribers[i]->subscribe(w.subs[i]); });
+  }
+  for (std::size_t i = 0; i < w.pubs.size(); ++i) {
+    sim.after(Duration::seconds(4.0 + 0.05 * static_cast<double>(i)),
+              [&, i] { publisher.publish(w.pubs[i]); });
+  }
+  // Unsubscribe wave: remove a fifth of the coverers (uncover-on-remove).
+  for (std::size_t k = 0; k < w.unsub_wave.size(); ++k) {
+    const std::size_t i = w.unsub_wave[k];
+    sim.after(Duration::seconds(8.0 + 0.05 * static_cast<double>(k)),
+              [&, i] { subscribers[i]->unsubscribe(sub_ids[i]); });
+  }
+  // Second publication round against the post-removal state.
+  for (std::size_t i = 0; i < w.pubs.size(); ++i) {
+    sim.after(Duration::seconds(10.0 + 0.05 * static_cast<double>(i)),
+              [&, i] { publisher.publish(w.pubs[i]); });
+  }
+  sim.run_until(SimTime::from_seconds(20.0));
+
+  RunStats r;
+  for (const auto& b : overlay.brokers()) {
+    r.subscription_msgs += b->stats().subscription_msgs;
+    r.matcher_population += b->engine().matcher_population();
+    r.deduped_installs += b->engine().deduped_installs();
+    r.suppressed += b->covering_counters().suppressed_forwards;
+    r.demote_unsubscribes += b->covering_counters().demote_unsubscribes;
+    r.resubscribes += b->covering_counters().resubscribes;
+    const CoverStats cs = b->covering_stats();
+    r.pairs.pairs += cs.pairs;
+    r.pairs.covered += cs.covered;
+    r.pairs.unknown += cs.unknown;
+  }
+  for (const PubSubClient* c : subscribers) {
+    r.deliveries += c->deliveries().size();
+    for (const auto& d : c->deliveries()) {
+      r.delivery_log.push_back(c->name() + "@" + std::to_string(d.when.micros()) + ":" +
+                               serialize(d.pub));
+    }
+  }
+  return r;
+}
+
+void json_scenario(std::ostream& os, const std::string& name, const RunStats& off,
+                   const RunStats& on) {
+  const double reduction =
+      off.subscription_msgs == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(on.subscription_msgs) /
+                               static_cast<double>(off.subscription_msgs));
+  os << "    {\"name\":\"" << name << "\","
+     << "\"off\":{\"subscription_msgs\":" << off.subscription_msgs
+     << ",\"matcher_population\":" << off.matcher_population
+     << ",\"deduped_installs\":" << off.deduped_installs << ",\"deliveries\":" << off.deliveries
+     << "},"
+     << "\"on\":{\"subscription_msgs\":" << on.subscription_msgs
+     << ",\"matcher_population\":" << on.matcher_population
+     << ",\"deduped_installs\":" << on.deduped_installs << ",\"deliveries\":" << on.deliveries
+     << ",\"suppressed_forwards\":" << on.suppressed
+     << ",\"demote_unsubscribes\":" << on.demote_unsubscribes
+     << ",\"resubscribes\":" << on.resubscribes << ",\"pairs_analyzed\":" << on.pairs.pairs
+     << ",\"pairs_covered\":" << on.pairs.covered << "},"
+     << "\"dissemination_reduction_pct\":" << reduction << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_routing.json";
+  std::cout << "Covering-based subscription routing: dissemination and matcher population\n";
+
+  bool diverged = false;
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"routing_covering\",\n  \"overlay\": \"star, core + " << kEdges
+       << " edges, advertisement routing, LEES\",\n  \"scenarios\": [\n";
+
+  const Workload workloads[] = {make_game_workload(), make_hft_workload()};
+  for (std::size_t wi = 0; wi < 2; ++wi) {
+    const Workload& w = workloads[wi];
+    const RunStats off = run(w, false);
+    const RunStats on = run(w, true);
+
+    print_banner(w.name + " workload (" + std::to_string(w.subs.size()) + " subscriptions, " +
+                 std::to_string(w.unsub_wave.size()) + " coverers removed mid-run)");
+    Table t{{"metric", "covering off", "covering on"}};
+    t.add_row({"subscription msgs", std::to_string(off.subscription_msgs),
+               std::to_string(on.subscription_msgs)});
+    t.add_row({"matcher population", std::to_string(off.matcher_population),
+               std::to_string(on.matcher_population)});
+    t.add_row({"deduped installs", std::to_string(off.deduped_installs),
+               std::to_string(on.deduped_installs)});
+    t.add_row({"deliveries", std::to_string(off.deliveries), std::to_string(on.deliveries)});
+    t.add_row({"suppressed forwards", "-", std::to_string(on.suppressed)});
+    t.add_row({"demote unsubscribes", "-", std::to_string(on.demote_unsubscribes)});
+    t.add_row({"resubscribes", "-", std::to_string(on.resubscribes)});
+    t.add_row({"covering pairs (covered)", "-",
+               std::to_string(on.pairs.pairs) + " (" + std::to_string(on.pairs.covered) + ")"});
+    t.print();
+    const double reduction =
+        100.0 * (1.0 - static_cast<double>(on.subscription_msgs) /
+                           static_cast<double>(off.subscription_msgs));
+    std::cout << "dissemination reduction: " << Table::fmt(reduction, 1) << "%\n";
+
+    if (off.delivery_log != on.delivery_log) {
+      std::cerr << "ERROR: delivery logs diverge between covering off/on in " << w.name << "\n";
+      diverged = true;
+    }
+
+    json_scenario(json, w.name, off, on);
+    json << (wi == 0 ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "\nresults written to " << out_path << "\n";
+  return diverged ? 1 : 0;
+}

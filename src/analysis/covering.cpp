@@ -1,0 +1,315 @@
+#include "analysis/covering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/verifier.hpp"
+#include "expr/program.hpp"
+
+namespace evps {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Largest magnitude at which every int64 converts to double exactly AND no
+/// two distinct int64s collide on the same double (2^53). Beyond it, int/int
+/// comparisons (exact) and double-space comparisons can disagree, so the
+/// ValueSet domain stops being faithful.
+constexpr double kMaxExactInt = 9007199254740992.0;
+
+enum class Approx : std::uint8_t { kOuter, kInner };
+
+ValueSet numeric_only(double lo, bool lo_open, double hi, bool hi_open) {
+  ValueSet s;
+  s.lo = lo;
+  s.lo_open = lo_open;
+  s.hi = hi;
+  s.hi_open = hi_open;
+  s.nan = false;
+  s.strings = ValueSet::Strings::kNone;
+  return s;
+}
+
+/// Exact satisfying set of a static predicate, except for the cases the
+/// domain cannot express: lexicographic string comparisons and integer
+/// constants beyond 2^53 degrade per `approx` (outer widens, inner empties).
+ValueSet static_pred_set(RelOp op, const Value& c, Approx approx) {
+  if (c.is_string()) {
+    switch (op) {
+      case RelOp::kEq: {
+        ValueSet s = ValueSet::nothing();
+        s.strings = ValueSet::Strings::kOne;
+        s.str = c.as_string();
+        return s;
+      }
+      case RelOp::kNe: {
+        // Numerics and NaN are incomparable with a string: != holds.
+        ValueSet s = ValueSet::universe();
+        s.excluded_strs.push_back(c.as_string());
+        return s;
+      }
+      default: {
+        // Lexicographic range over strings: satisfied only by strings.
+        if (approx == Approx::kInner) return ValueSet::nothing();
+        ValueSet s = ValueSet::nothing();
+        s.strings = ValueSet::Strings::kAll;
+        return s;
+      }
+    }
+  }
+  const double d = *c.numeric();
+  if (std::isnan(d)) {
+    // NaN constant: incomparable with everything.
+    return op == RelOp::kNe ? ValueSet::universe() : ValueSet::nothing();
+  }
+  if (c.is_int() && !(std::abs(d) <= kMaxExactInt)) {
+    if (approx == Approx::kInner) return ValueSet::nothing();
+    const double down = std::nextafter(d, -kInf);
+    const double up = std::nextafter(d, kInf);
+    switch (op) {
+      case RelOp::kLt:
+      case RelOp::kLe: return numeric_only(-kInf, false, up, false);
+      case RelOp::kGt:
+      case RelOp::kGe: return numeric_only(down, false, kInf, false);
+      case RelOp::kEq: return numeric_only(down, false, up, false);
+      case RelOp::kNe: return ValueSet::universe();
+    }
+  }
+  switch (op) {
+    case RelOp::kLt: return numeric_only(-kInf, false, d, /*hi_open=*/true);
+    case RelOp::kLe: return numeric_only(-kInf, false, d, /*hi_open=*/false);
+    case RelOp::kGt: return numeric_only(d, /*lo_open=*/true, kInf, false);
+    case RelOp::kGe: return numeric_only(d, /*lo_open=*/false, kInf, false);
+    case RelOp::kEq: return numeric_only(d, false, d, false);
+    case RelOp::kNe: {
+      ValueSet s = ValueSet::universe();
+      s.excluded_nums.push_back(d);
+      return s;
+    }
+  }
+  return ValueSet::universe();
+}
+
+/// Values that can satisfy `pub OP f` for SOME bound f in the envelope
+/// (over-approximation; a bound that evaluates to NaN or hits an unbound
+/// variable satisfies nothing except !=, which the formulas absorb).
+ValueSet evolving_outer_set(RelOp op, const Interval& iv) {
+  switch (op) {
+    case RelOp::kLt: return numeric_only(-kInf, false, iv.hi, /*hi_open=*/true);
+    case RelOp::kLe: return numeric_only(-kInf, false, iv.hi, /*hi_open=*/false);
+    case RelOp::kGt: return numeric_only(iv.lo, /*lo_open=*/true, kInf, false);
+    case RelOp::kGe: return numeric_only(iv.lo, /*lo_open=*/false, kInf, false);
+    case RelOp::kEq: return numeric_only(iv.lo, false, iv.hi, false);
+    case RelOp::kNe: {
+      // Incomparables (strings, NaN publication values, NaN bounds) all
+      // satisfy !=; a numeric value fails only against itself, which is
+      // certain only when the bound is a provable single point.
+      ValueSet s = ValueSet::universe();
+      if (iv.is_point()) s.excluded_nums.push_back(iv.lo);
+      return s;
+    }
+  }
+  return ValueSet::universe();
+}
+
+/// Values GUARANTEED to satisfy `pub OP f` for EVERY bound f in the envelope
+/// (under-approximation). A maybe-NaN bound can fail every comparison except
+/// !=, so it empties all other operators.
+ValueSet evolving_inner_set(RelOp op, const Interval& iv) {
+  if (op == RelOp::kNe) {
+    if (iv.numeric_empty()) return ValueSet::universe();  // always-NaN bound: != always holds
+    ValueSet s = ValueSet::universe();
+    if (iv.is_point()) {
+      s.excluded_nums.push_back(iv.lo);
+    } else {
+      // Cannot carve [lo, hi] out of the numeric line: keep only the
+      // incomparables, which satisfy != against any bound.
+      s.lo = 1.0;
+      s.hi = 0.0;
+    }
+    return s;
+  }
+  if (iv.maybe_nan) return ValueSet::nothing();
+  switch (op) {
+    case RelOp::kLt: return numeric_only(-kInf, false, iv.lo, /*hi_open=*/true);
+    case RelOp::kLe: return numeric_only(-kInf, false, iv.lo, /*hi_open=*/false);
+    case RelOp::kGt: return numeric_only(iv.hi, /*lo_open=*/true, kInf, false);
+    case RelOp::kGe: return numeric_only(iv.hi, /*lo_open=*/false, kInf, false);
+    case RelOp::kEq:
+      return iv.is_point() ? numeric_only(iv.lo, false, iv.lo, false) : ValueSet::nothing();
+    case RelOp::kNe: break;  // handled above
+  }
+  return ValueSet::nothing();
+}
+
+SubscriptionShape build_shape(const Subscription& sub, const VariableRegistry& registry,
+                              Approx approx) {
+  SubscriptionShape shape;
+  const RegistryVarBounds bounds(registry);
+  for (const Predicate& pred : sub.predicates()) {
+    ValueSet set;
+    if (!pred.is_evolving()) {
+      set = static_pred_set(pred.op(), pred.constant(), approx);
+    } else {
+      set = approx == Approx::kOuter ? ValueSet::universe() : ValueSet::nothing();
+      try {
+        const ExprProgram prog = ExprProgram::compile(*pred.fun());
+        if (verify_program(prog).ok) {
+          bool guaranteed = true;
+          if (approx == Approx::kInner) {
+            // The coverer must never fail closed: every referenced variable
+            // (other than `t`) must already be set — registry histories are
+            // append-only, so it then resolves at every later instant.
+            for (const VarId var : prog.variables()) {
+              if (var != elapsed_time_var_id() && !registry.get(var).has_value()) {
+                guaranteed = false;
+                break;
+              }
+            }
+          }
+          if (guaranteed) {
+            const Interval iv = eval_interval(prog, bounds);
+            set = approx == Approx::kOuter ? evolving_outer_set(pred.op(), iv)
+                                           : evolving_inner_set(pred.op(), iv);
+          }
+        }
+      } catch (const std::exception&) {
+        // Uncompilable/unverifiable function: keep the degraded default.
+      }
+    }
+    const auto [it, inserted] = shape.attrs.try_emplace(pred.attr_id(), std::move(set));
+    if (!inserted) it->second.intersect(set);
+  }
+  return shape;
+}
+
+}  // namespace
+
+std::string_view to_string(CoverVerdict v) noexcept {
+  switch (v) {
+    case CoverVerdict::kCovers: return "covers";
+    case CoverVerdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+bool ValueSet::admits_num(double v) const noexcept {
+  if (std::isnan(v)) return false;
+  if (v < lo || (v == lo && lo_open)) return false;
+  if (v > hi || (v == hi && hi_open)) return false;
+  return std::find(excluded_nums.begin(), excluded_nums.end(), v) == excluded_nums.end();
+}
+
+bool ValueSet::admits_string(const std::string& s) const {
+  switch (strings) {
+    case Strings::kNone: return false;
+    case Strings::kOne: return s == str;
+    case Strings::kAll:
+      return std::find(excluded_strs.begin(), excluded_strs.end(), s) == excluded_strs.end();
+  }
+  return false;
+}
+
+void ValueSet::intersect(const ValueSet& other) {
+  // Strings first: the kOne case consults this set's current exclusions.
+  if (strings == Strings::kAll) {
+    switch (other.strings) {
+      case Strings::kNone:
+        strings = Strings::kNone;
+        break;
+      case Strings::kOne:
+        strings = admits_string(other.str) ? Strings::kOne : Strings::kNone;
+        str = other.str;
+        break;
+      case Strings::kAll:
+        for (const auto& s : other.excluded_strs) {
+          if (std::find(excluded_strs.begin(), excluded_strs.end(), s) == excluded_strs.end()) {
+            excluded_strs.push_back(s);
+          }
+        }
+        break;
+    }
+  } else if (strings == Strings::kOne && !other.admits_string(str)) {
+    strings = Strings::kNone;
+  }
+  if (strings != Strings::kAll) excluded_strs.clear();
+  if (strings != Strings::kOne) str.clear();
+
+  if (other.lo > lo || (other.lo == lo && other.lo_open && !lo_open)) {
+    lo = other.lo;
+    lo_open = other.lo_open;
+  }
+  if (other.hi < hi || (other.hi == hi && other.hi_open && !hi_open)) {
+    hi = other.hi;
+    hi_open = other.hi_open;
+  }
+  nan = nan && other.nan;
+  for (const double v : other.excluded_nums) {
+    if (std::find(excluded_nums.begin(), excluded_nums.end(), v) == excluded_nums.end()) {
+      excluded_nums.push_back(v);
+    }
+  }
+  if (numeric_empty()) excluded_nums.clear();
+}
+
+bool subset_of(const ValueSet& outer, const ValueSet& inner) {
+  if (outer.nan && !inner.nan) return false;
+
+  switch (outer.strings) {
+    case ValueSet::Strings::kNone: break;
+    case ValueSet::Strings::kOne:
+      if (!inner.admits_string(outer.str)) return false;
+      break;
+    case ValueSet::Strings::kAll:
+      // Outer admits infinitely many strings even after finite exclusions;
+      // inner must admit all strings modulo exclusions outer also makes.
+      if (inner.strings != ValueSet::Strings::kAll) return false;
+      for (const auto& s : inner.excluded_strs) {
+        if (outer.admits_string(s)) return false;
+      }
+      break;
+  }
+
+  if (!outer.numeric_empty()) {
+    if (outer.lo < inner.lo || outer.hi > inner.hi) return false;
+    // Equal endpoint where inner is open and outer closed: the endpoint
+    // itself must be unreachable in outer (via its own exclusions).
+    if (outer.lo == inner.lo && inner.lo_open && !outer.lo_open && outer.admits_num(outer.lo)) {
+      return false;
+    }
+    if (outer.hi == inner.hi && inner.hi_open && !outer.hi_open && outer.admits_num(outer.hi)) {
+      return false;
+    }
+    for (const double v : inner.excluded_nums) {
+      if (outer.admits_num(v)) return false;
+    }
+  }
+  return true;
+}
+
+SubscriptionShape outer_shape(const Subscription& sub, const VariableRegistry& registry) {
+  return build_shape(sub, registry, Approx::kOuter);
+}
+
+SubscriptionShape inner_shape(const Subscription& sub, const VariableRegistry& registry) {
+  return build_shape(sub, registry, Approx::kInner);
+}
+
+CoverVerdict covers(const SubscriptionShape& a_inner, const SubscriptionShape& b_outer) {
+  for (const auto& [attr, inner] : a_inner.attrs) {
+    const auto it = b_outer.attrs.find(attr);
+    // B does not force this attribute to be present: a publication without
+    // it can match B but never A.
+    if (it == b_outer.attrs.end()) return CoverVerdict::kUnknown;
+    if (!subset_of(it->second, inner)) return CoverVerdict::kUnknown;
+  }
+  return CoverVerdict::kCovers;
+}
+
+CoverVerdict covers(const Subscription& a, const Subscription& b,
+                    const VariableRegistry& registry) {
+  return covers(inner_shape(a, registry), outer_shape(b, registry));
+}
+
+}  // namespace evps

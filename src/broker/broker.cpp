@@ -9,6 +9,7 @@ namespace evps {
 
 Broker::Broker(std::string name, Network& net, BrokerConfig config)
     : net_(net), name_(std::move(name)), config_(config), engine_(make_engine(config.engine)) {
+  if (config_.covering) covering_ = std::make_unique<CoveringIndex>();
   net_.attach(*this);
 }
 
@@ -110,10 +111,68 @@ void Broker::handle_subscribe(const SubscribeMsg& msg, NodeId from) {
   // Forward what was installed: a folded subscription is provably equivalent
   // and lets downstream brokers skip the lazy path too.
   auto targets = subscription_forward_targets(*install, from);
+  CoveringIndex::AddResult cover;
+  if (covering_) {
+    cover = covering_->add(*install, registry_);
+    if (cover.parent.valid()) {
+      // Covered: suppress exactly the directions the root already reaches —
+      // publications matching this subscription are already routed back here
+      // through the root. Other directions (e.g. the one the root arrived
+      // from) still need the subscription itself.
+      const auto root_it = sub_forwards_.find(cover.parent);
+      if (root_it != sub_forwards_.end()) {
+        const auto& root_fwd = root_it->second;
+        const auto suppressed = [&root_fwd](NodeId target) {
+          return std::find(root_fwd.begin(), root_fwd.end(), target) != root_fwd.end();
+        };
+        const auto new_end = std::remove_if(targets.begin(), targets.end(), suppressed);
+        covering_counters_.suppressed_forwards +=
+            static_cast<std::uint64_t>(targets.end() - new_end);
+        targets.erase(new_end, targets.end());
+      }
+    }
+  }
   for (const auto target : targets) {
     net_.send(node_id(), target, SubscribeMsg{install});
   }
-  sub_forwards_.emplace(install->id(), std::move(targets));
+  const auto [fwd_it, inserted] = sub_forwards_.emplace(install->id(), std::move(targets));
+  (void)inserted;
+  // Retract newly covered roots after the coverer's subscribes are queued:
+  // per-link FIFO delivers the coverer first, so upstream never has a gap.
+  if (covering_ && !cover.demoted.empty()) retract_demoted(cover.demoted, fwd_it->second);
+}
+
+void Broker::resubscribe_promoted(const std::vector<SubscriptionId>& promoted) {
+  for (const SubscriptionId id : promoted) {
+    const SubscriptionPtr sub = engine_->subscription_of(id);
+    if (!sub) continue;
+    auto& forwards = sub_forwards_[id];
+    for (const auto target : subscription_forward_targets(*sub, engine_->destination_of(id))) {
+      if (std::find(forwards.begin(), forwards.end(), target) != forwards.end()) continue;
+      net_.send(node_id(), target, SubscribeMsg{sub});
+      forwards.push_back(target);
+      ++covering_counters_.resubscribes;
+    }
+  }
+}
+
+void Broker::retract_demoted(const std::vector<SubscriptionId>& demoted,
+                             const std::vector<NodeId>& coverer_forwards) {
+  for (const SubscriptionId id : demoted) {
+    const auto it = sub_forwards_.find(id);
+    if (it == sub_forwards_.end()) continue;
+    auto& forwards = it->second;
+    for (auto fit = forwards.begin(); fit != forwards.end();) {
+      if (std::find(coverer_forwards.begin(), coverer_forwards.end(), *fit) ==
+          coverer_forwards.end()) {
+        ++fit;  // the coverer does not reach this direction: keep ours
+        continue;
+      }
+      net_.send(node_id(), *fit, UnsubscribeMsg{id});
+      ++covering_counters_.demote_unsubscribes;
+      fit = forwards.erase(fit);
+    }
+  }
 }
 
 SubscriptionPtr Broker::analyze_incoming(const SubscriptionPtr& sub) {
@@ -160,7 +219,14 @@ SubscriptionPtr Broker::analyze_incoming(const SubscriptionPtr& sub) {
 
 void Broker::handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from) {
   ++stats_.unsubscribes;
-  if (!engine_->remove(msg.id, *this)) return;
+  if (!engine_->contains(msg.id)) return;
+  CoveringIndex::RemoveResult uncovered;
+  if (covering_) uncovered = covering_->remove(msg.id);
+  engine_->remove(msg.id, *this);
+  // Uncover-on-remove: re-disseminate promoted subscriptions BEFORE the
+  // coverer's unsubscribe so upstream brokers (per-link FIFO) install them
+  // while the coverer is still routing — delivery never has a gap.
+  if (covering_) resubscribe_promoted(uncovered.promoted);
   const auto it = sub_forwards_.find(msg.id);
   if (it != sub_forwards_.end()) {
     for (const auto target : it->second) {
@@ -172,12 +238,30 @@ void Broker::handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from) {
 
 void Broker::handle_update(const SubscriptionUpdateMsg& msg, NodeId from) {
   ++stats_.sub_updates;
+  if (!engine_->contains(msg.id)) return;
+  // A parametric update changes the match set, so every covering relation
+  // involving this subscription is void: retract it from the forest (its
+  // covered children resubscribe upstream before the update propagates) and
+  // re-analyze it under the new predicates afterwards.
+  CoveringIndex::RemoveResult uncovered;
+  if (covering_) uncovered = covering_->remove(msg.id);
   if (!engine_->update(msg.id, msg.new_values, *this)) return;
+  if (covering_) resubscribe_promoted(uncovered.promoted);
   const auto it = sub_forwards_.find(msg.id);
   if (it != sub_forwards_.end()) {
     for (const auto target : it->second) {
       if (target != from) net_.send(node_id(), target, msg);
     }
+  }
+  if (covering_) {
+    const SubscriptionPtr sub = engine_->subscription_of(msg.id);
+    const CoveringIndex::AddResult cover = covering_->add(*sub, registry_);
+    // If the updated subscription stands as a root, it must reach its full
+    // target set: directions suppressed under its old coverer receive the
+    // updated subscription as a fresh subscribe (directions already
+    // forwarded-to got the update message above). A re-covered subscription
+    // keeps its existing forwards — they remain sound, just redundant.
+    if (!cover.parent.valid()) resubscribe_promoted({msg.id});
   }
 }
 

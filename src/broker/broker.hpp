@@ -16,10 +16,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/covering_index.hpp"
 #include "common/ids.hpp"
 #include "evolving/engine.hpp"
 #include "expr/variable_registry.hpp"
 #include "metrics/analysis_counters.hpp"
+#include "metrics/covering_counters.hpp"
 #include "sim/network.hpp"
 
 namespace evps {
@@ -45,6 +47,14 @@ struct BrokerConfig {
   /// when provable from declared variable ranges, and constant folds are
   /// bit-identical to lazy evaluation.
   AnalysisPolicy analysis = AnalysisPolicy::kEnforce;
+  /// Covering-based subscription routing (analysis/covering_index.hpp):
+  /// suppress forwarding a subscription towards neighbours its covering root
+  /// already reaches, retract newly covered roots, and re-disseminate
+  /// covered subscriptions when their coverer is removed or updated
+  /// (uncover-on-remove). Delivery sets are unchanged — the suppressed
+  /// directions are provably served by the root for every reachable
+  /// evolution-variable assignment.
+  bool covering = false;
 };
 
 struct BrokerStats {
@@ -115,6 +125,15 @@ class Broker final : public NetworkNode, public EngineHost {
   [[nodiscard]] const AnalysisCounters& analysis_counters() const noexcept {
     return analysis_counters_;
   }
+  [[nodiscard]] const CoveringCounters& covering_counters() const noexcept {
+    return covering_counters_;
+  }
+  /// Covering pair-analysis stats; zeroes when covering routing is off.
+  [[nodiscard]] CoverStats covering_stats() const noexcept {
+    return covering_ ? covering_->stats() : CoverStats{};
+  }
+  /// The covering forest (null when BrokerConfig::covering is off).
+  [[nodiscard]] const CoveringIndex* covering_index() const noexcept { return covering_.get(); }
   void reset_stats() noexcept { stats_.reset(); }
   [[nodiscard]] const BrokerConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t subscription_count() const noexcept { return engine_->size(); }
@@ -137,6 +156,18 @@ class Broker final : public NetworkNode, public EngineHost {
   /// when it must be rejected.
   [[nodiscard]] SubscriptionPtr analyze_incoming(const SubscriptionPtr& sub);
 
+  /// Uncover-on-remove: forward each promoted subscription towards every
+  /// neighbour it now needs (fresh targets minus directions already sent).
+  /// Must run BEFORE the coverer's unsubscribe/update is forwarded —
+  /// per-link FIFO then guarantees upstream brokers install the promoted
+  /// subscription before the coverer disappears (no delivery gap).
+  void resubscribe_promoted(const std::vector<SubscriptionId>& promoted);
+  /// Retract a freshly demoted root: unsubscribe it from the directions its
+  /// new coverer was just forwarded to (coverer's subscribe is already
+  /// queued ahead on those links).
+  void retract_demoted(const std::vector<SubscriptionId>& demoted,
+                       const std::vector<NodeId>& coverer_forwards);
+
   Network& net_;
   std::string name_;
   BrokerConfig config_;
@@ -154,6 +185,9 @@ class Broker final : public NetworkNode, public EngineHost {
   std::vector<TimerHandle> monitors_;
   BrokerStats stats_;
   AnalysisCounters analysis_counters_;
+  /// Covering forest over installed subscriptions (BrokerConfig::covering).
+  std::unique_ptr<CoveringIndex> covering_;
+  CoveringCounters covering_counters_;
 };
 
 }  // namespace evps

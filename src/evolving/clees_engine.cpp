@@ -7,7 +7,7 @@ namespace evps {
 void CleesEngine::do_add(const Installed& entry, EngineHost& host) {
   const auto& sub = *entry.sub;
   if (!sub.is_evolving()) {
-    matcher_->add(sub.id(), sub.predicates());
+    matcher_add_static(entry);
     return;
   }
   const auto static_part = sub.static_predicates();
@@ -28,7 +28,7 @@ void CleesEngine::do_add(const Installed& entry, EngineHost& host) {
 void CleesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
   const auto& sub = *entry.sub;
   if (!sub.is_evolving()) {
-    matcher_->remove(sub.id());
+    matcher_remove_static(sub.id());
     return;
   }
   if (!sub.is_fully_evolving()) matcher_->remove(sub.id());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "evolving/clees_engine.hpp"
 #include "evolving/hybrid_engine.hpp"
@@ -22,6 +23,69 @@ const char* to_string(EngineKind kind) noexcept {
     case EngineKind::kHybrid: return "hybrid";
   }
   return "?";
+}
+
+bool DedupTable::add(SubscriptionId id, std::string key) {
+  auto& members = groups_[key];
+  members.push_back(id);
+  key_of_.emplace(id, std::move(key));
+  return members.size() == 1;
+}
+
+DedupTable::RemoveAction DedupTable::remove(SubscriptionId id) {
+  RemoveAction action;
+  const auto kit = key_of_.find(id);
+  if (kit == key_of_.end()) return action;
+  action.tracked = true;
+  const auto git = groups_.find(kit->second);
+  auto& members = git->second;
+  if (members.front() == id) {
+    action.uninstall = true;
+    members.erase(members.begin());
+    if (!members.empty()) action.reinstall = members.front();
+  } else {
+    members.erase(std::remove(members.begin(), members.end(), id), members.end());
+  }
+  if (members.empty()) groups_.erase(git);
+  key_of_.erase(kit);
+  return action;
+}
+
+std::string static_dedup_key(NodeId dest, const std::vector<Predicate>& preds) {
+  std::vector<std::string> parts;
+  parts.reserve(preds.size());
+  for (const auto& p : preds) {
+    std::string s = std::to_string(p.attr_id());
+    s += '~';
+    s += std::to_string(static_cast<int>(p.op()));
+    s += '~';
+    const Value& c = p.constant();
+    if (c.is_string()) {
+      s += 's';
+      s += std::to_string(c.as_string().size());
+      s += ':';
+      s += c.as_string();
+    } else if (c.is_int()) {
+      s += 'i';
+      s += std::to_string(c.as_int());
+    } else {
+      // Bit pattern: exactness matters (distinct doubles, incl. -0.0 vs 0.0
+      // and NaN payloads, must not collide onto one key).
+      std::uint64_t bits = 0;
+      const double d = *c.numeric();
+      std::memcpy(&bits, &d, sizeof(bits));
+      s += 'd';
+      s += std::to_string(bits);
+    }
+    parts.push_back(std::move(s));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key = std::to_string(dest.value());
+  for (const auto& part : parts) {
+    key += '|';
+    key += part;
+  }
+  return key;
 }
 
 BrokerEngine::BrokerEngine(const EngineConfig& config)
@@ -118,6 +182,34 @@ const BrokerEngine::Installed* BrokerEngine::installed_entry(SubscriptionId id) 
   const auto it = subs_.find(id);
   assert(it != subs_.end() && "matcher returned an id with no installed subscription");
   return it == subs_.end() ? nullptr : &it->second;
+}
+
+void BrokerEngine::matcher_add_static(const Installed& entry) {
+  const auto& sub = *entry.sub;
+  assert(!sub.is_evolving());
+  if (!config_.dedup_identical) {
+    matcher_->add(sub.id(), sub.predicates());
+    return;
+  }
+  if (static_dedup_.add(sub.id(), static_dedup_key(entry.dest, sub.predicates()))) {
+    matcher_->add(sub.id(), sub.predicates());
+  }
+}
+
+void BrokerEngine::matcher_remove_static(SubscriptionId id) {
+  const DedupTable::RemoveAction action = static_dedup_.remove(id);
+  if (!action.tracked) {
+    matcher_->remove(id);
+    return;
+  }
+  if (!action.uninstall) return;  // a sharing member left; canonical stays
+  matcher_->remove(id);
+  if (action.reinstall.valid()) {
+    // The canonical id left but the group survives: reinstall under a
+    // surviving member so the matcher keeps resolving to a live id.
+    const Installed* entry = installed_entry(action.reinstall);
+    if (entry != nullptr) matcher_->add(action.reinstall, entry->sub->predicates());
+  }
 }
 
 Duration BrokerEngine::effective_mei(const Subscription& sub) const noexcept {

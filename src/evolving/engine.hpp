@@ -103,7 +103,50 @@ struct EngineConfig {
   /// bit-identical bounds, so this only skips provably redundant
   /// re-materialisations — observable behaviour is unchanged.
   bool analysis_cache_windows = true;
+  /// Share one physical matcher/storage entry among subscriptions whose
+  /// installs are interchangeable for delivery: identical destination and
+  /// bit-identical predicates (and epoch where `t` matters). Removal is
+  /// refcounted, so delivery sets are unchanged — this only shrinks the
+  /// matcher population under duplicate-heavy workloads.
+  bool dedup_identical = true;
 };
+
+/// Refcounted install-sharing groups (EngineConfig::dedup_identical). Keys
+/// must be injective over delivery behaviour: two ids may share a key only
+/// when installing either produces the same matches to the same destination.
+/// The first member of a group is its *canonical* id — the one physically
+/// installed; when it leaves, the table nominates a surviving member to
+/// reinstall under.
+class DedupTable {
+ public:
+  /// Track `id` under `key`. True when `id` opened the group (the caller
+  /// must physically install it).
+  bool add(SubscriptionId id, std::string key);
+
+  struct RemoveAction {
+    bool tracked = false;    ///< id was known to this table
+    bool uninstall = false;  ///< id was canonical: physically uninstall it
+    /// Surviving member to reinstall under (invalid when the group died).
+    SubscriptionId reinstall = SubscriptionId::invalid();
+  };
+  RemoveAction remove(SubscriptionId id);
+
+  [[nodiscard]] std::size_t members() const noexcept { return key_of_.size(); }
+  [[nodiscard]] std::size_t groups() const noexcept { return groups_.size(); }
+  /// Physical installs currently saved by sharing.
+  [[nodiscard]] std::size_t suppressed() const noexcept {
+    return key_of_.size() - groups_.size();
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<SubscriptionId>> groups_;
+  std::unordered_map<SubscriptionId, std::string> key_of_;
+};
+
+/// Dedup key for a fully-static subscription installed towards `dest`:
+/// destination + order-independent, bit-exact predicate serialization
+/// (int64s in decimal, doubles as bit patterns, strings length-prefixed).
+[[nodiscard]] std::string static_dedup_key(NodeId dest, const std::vector<Predicate>& preds);
 
 class BrokerEngine {
  public:
@@ -139,6 +182,13 @@ class BrokerEngine {
   [[nodiscard]] const EngineCosts& costs() const noexcept { return costs_; }
   void reset_costs() noexcept { costs_.reset(); }
   [[nodiscard]] EngineKind kind() const noexcept { return config_.kind; }
+
+  /// Physical matcher entries (shared installs counted once).
+  [[nodiscard]] std::size_t matcher_population() const noexcept { return matcher_->size(); }
+  /// Installs currently elided by identical-subscription sharing.
+  [[nodiscard]] virtual std::size_t deduped_installs() const noexcept {
+    return static_dedup_.suppressed();
+  }
 
   /// Destination registered for `id` (invalid NodeId if unknown).
   [[nodiscard]] NodeId destination_of(SubscriptionId id) const noexcept;
@@ -182,6 +232,20 @@ class BrokerEngine {
   /// default when the subscription carries a non-positive one).
   [[nodiscard]] Duration effective_mei(const Subscription& sub) const noexcept;
   [[nodiscard]] Duration effective_tt(const Subscription& sub) const noexcept;
+
+  /// Install a FULLY-static subscription into the matcher, sharing one
+  /// matcher entry per identical (destination, predicates) group when
+  /// config_.dedup_identical. Sound because the matcher result is only ever
+  /// mapped to the canonical member's destination, which all members share.
+  /// Must not be used for split (static half of evolving) installs: those
+  /// are keyed by subscription id in the lazy stores (note_m1).
+  void matcher_add_static(const Installed& entry);
+  /// Removal counterpart: keeps a canonical member installed while the
+  /// group is non-empty. Falls back to a plain matcher remove for untracked
+  /// ids (dedup disabled).
+  void matcher_remove_static(SubscriptionId id);
+
+  DedupTable static_dedup_;
 
   EngineConfig config_;
   MatcherPtr matcher_;

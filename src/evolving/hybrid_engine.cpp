@@ -17,7 +17,7 @@ std::size_t HybridEngine::versioned_count() const noexcept {
 void HybridEngine::do_add(const Installed& entry, EngineHost& host) {
   const auto& sub = *entry.sub;
   if (!sub.is_evolving()) {
-    matcher_->add(sub.id(), sub.predicates());
+    matcher_add_static(entry);
     return;
   }
   ensure_timer(host);
@@ -30,7 +30,7 @@ void HybridEngine::do_add(const Installed& entry, EngineHost& host) {
 void HybridEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
   const auto& sub = *entry.sub;
   if (!sub.is_evolving()) {
-    matcher_->remove(sub.id());
+    matcher_remove_static(sub.id());
     return;
   }
   if (!sub.is_fully_evolving()) matcher_->remove(sub.id());

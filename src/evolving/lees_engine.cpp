@@ -1,14 +1,72 @@
 #include "evolving/lees_engine.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace evps {
+namespace {
+
+/// Dedup key for a FULLY-evolving subscription towards `dest`: destination +
+/// epoch + order-independent, bit-exact serialization of each compiled
+/// predicate (opcode stream with operand bit patterns). Equal keys imply
+/// bit-identical evaluation on every publication: same programs, same
+/// operators, same `t` origin, same destination.
+std::string lazy_dedup_key(NodeId dest, const Subscription& sub) {
+  std::vector<std::string> parts;
+  parts.reserve(sub.predicates().size());
+  for (const auto& p : sub.predicates()) {
+    std::string s = std::to_string(p.attr_id());
+    s += '~';
+    s += std::to_string(static_cast<int>(p.op()));
+    const ExprProgram prog = ExprProgram::compile(*p.fun());
+    for (const auto& insn : prog.code()) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &insn.k, sizeof(bits));
+      s += '~';
+      s += std::to_string(static_cast<int>(insn.op));
+      s += ',';
+      s += std::to_string(insn.argc);
+      s += ',';
+      s += std::to_string(insn.var);
+      s += ',';
+      s += std::to_string(bits);
+    }
+    parts.push_back(std::move(s));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key = std::to_string(dest.value());
+  key += '@';
+  key += std::to_string(sub.epoch().micros());
+  for (const auto& part : parts) {
+    key += '|';
+    key += part;
+  }
+  return key;
+}
+
+}  // namespace
 
 void LeesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
   const auto& sub = *entry.sub;
   if (!sub.is_evolving()) {
-    matcher_->add(sub.id(), sub.predicates());
+    matcher_add_static(entry);
     return;
   }
   const auto static_part = sub.static_predicates();
+  if (static_part.empty() && config_.dedup_identical) {
+    // Fully-evolving: share one LEME part per identical group. The key is
+    // built (and programs compiled) before any state changes, so compile
+    // failures leave the engine untouched; the canonical install is undone
+    // from the table if verification rejects it below.
+    if (!lazy_dedup_.add(sub.id(), lazy_dedup_key(entry.dest, sub))) return;
+    try {
+      leme_.add(leme_.make_part(entry.sub, false), entry.dest);
+    } catch (...) {
+      lazy_dedup_.remove(sub.id());
+      throw;
+    }
+    return;
+  }
   auto part = leme_.make_part(entry.sub, !static_part.empty());
   if (part.has_static_part) matcher_->add(sub.id(), static_part);
   leme_.add(std::move(part), entry.dest);
@@ -17,11 +75,21 @@ void LeesEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
 void LeesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
   const auto& sub = *entry.sub;
   if (!sub.is_evolving()) {
-    matcher_->remove(sub.id());
+    matcher_remove_static(sub.id());
     return;
   }
   if (!sub.is_fully_evolving()) matcher_->remove(sub.id());
+  const DedupTable::RemoveAction action = lazy_dedup_.remove(sub.id());
+  if (!action.tracked) {
+    leme_.remove(sub.id(), entry.dest);
+    return;
+  }
+  if (!action.uninstall) return;  // a sharing member left; canonical stays
   leme_.remove(sub.id(), entry.dest);
+  if (action.reinstall.valid()) {
+    const Installed* next = installed_entry(action.reinstall);
+    if (next != nullptr) leme_.add(leme_.make_part(next->sub, false), next->dest);
+  }
 }
 
 bool LeesEngine::evolving_part_matches(const Leme::Part& part, const Publication& pub,

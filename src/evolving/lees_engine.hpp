@@ -33,6 +33,10 @@ class LeesEngine final : public BrokerEngine {
   /// Number of subscriptions with at least one evolving predicate.
   [[nodiscard]] std::size_t leme_size() const noexcept { return leme_.size(); }
 
+  [[nodiscard]] std::size_t deduped_installs() const noexcept override {
+    return BrokerEngine::deduped_installs() + lazy_dedup_.suppressed();
+  }
+
  protected:
   void do_add(const Installed& entry, EngineHost& host) override;
   void do_remove(const Installed& entry, EngineHost& host) override;
@@ -49,6 +53,12 @@ class LeesEngine final : public BrokerEngine {
                              const EvalScope& scope);
 
   Leme leme_;
+  /// Install-sharing over FULLY-evolving subscriptions: identical compiled
+  /// predicates towards the same destination with the same epoch evaluate
+  /// identically on every publication, so one LEME part stands in for the
+  /// whole group. Split subscriptions never dedup (note_m1 is keyed by id).
+  /// LEES-only: the CLEES/hybrid stores carry per-part cache state.
+  DedupTable lazy_dedup_;
 };
 
 }  // namespace evps

@@ -7,11 +7,11 @@ void StaticEngine::do_add(const Installed& entry, EngineHost& /*host*/) {
     throw std::invalid_argument("static engine cannot install evolving subscription " +
                                 entry.sub->id().str());
   }
-  matcher_->add(entry.sub->id(), entry.sub->predicates());
+  matcher_add_static(entry);
 }
 
 void StaticEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
-  matcher_->remove(entry.sub->id());
+  matcher_remove_static(entry.sub->id());
 }
 
 void StaticEngine::do_match(const Publication& pub, const VariableSnapshot* /*snapshot*/,

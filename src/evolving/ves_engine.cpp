@@ -14,7 +14,7 @@ VesEngine::~VesEngine() {
 void VesEngine::do_add(const Installed& entry, EngineHost& host) {
   const auto& sub = *entry.sub;
   if (!sub.is_evolving()) {
-    matcher_->add(sub.id(), sub.predicates());
+    matcher_add_static(entry);
     return;
   }
   ensure_listener(host);
@@ -57,6 +57,10 @@ void VesEngine::do_add(const Installed& entry, EngineHost& host) {
 
 void VesEngine::do_remove(const Installed& entry, EngineHost& /*host*/) {
   const SubscriptionId id = entry.sub->id();
+  if (!entry.sub->is_evolving()) {
+    matcher_remove_static(id);
+    return;
+  }
   matcher_->remove(id);
   esq_.remove(id);
   ready_.erase(id);

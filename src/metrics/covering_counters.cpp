@@ -1,0 +1,36 @@
+#include "metrics/covering_counters.hpp"
+
+#include <ostream>
+
+#include "broker/broker.hpp"
+#include "metrics/report.hpp"
+
+namespace evps {
+
+void print_covering_report(const std::vector<const Broker*>& brokers, std::ostream& os) {
+  Table table({"broker", "pairs", "covered", "unknown", "suppressed", "retracted", "resubs",
+               "net saved"});
+  CoverStats total_pairs;
+  CoveringCounters total;
+  for (const Broker* broker : brokers) {
+    const CoverStats pairs = broker->covering_stats();
+    const CoveringCounters& c = broker->covering_counters();
+    total_pairs.pairs += pairs.pairs;
+    total_pairs.covered += pairs.covered;
+    total_pairs.unknown += pairs.unknown;
+    total.suppressed_forwards += c.suppressed_forwards;
+    total.demote_unsubscribes += c.demote_unsubscribes;
+    total.resubscribes += c.resubscribes;
+    table.add_row({broker->name(), std::to_string(pairs.pairs), std::to_string(pairs.covered),
+                   std::to_string(pairs.unknown), std::to_string(c.suppressed_forwards),
+                   std::to_string(c.demote_unsubscribes), std::to_string(c.resubscribes),
+                   std::to_string(c.net_saved())});
+  }
+  table.add_row({"total", std::to_string(total_pairs.pairs), std::to_string(total_pairs.covered),
+                 std::to_string(total_pairs.unknown), std::to_string(total.suppressed_forwards),
+                 std::to_string(total.demote_unsubscribes), std::to_string(total.resubscribes),
+                 std::to_string(total.net_saved())});
+  table.print(os);
+}
+
+}  // namespace evps

@@ -1,0 +1,44 @@
+// Per-broker counters for covering-based subscription routing (see
+// analysis/covering_index.hpp and BrokerConfig::covering). Pair-analysis
+// counts (pairs / covered / unknown) live in the CoveringIndex's CoverStats;
+// this struct tracks the message-traffic consequences the broker observed.
+//
+// Header-only and dependency-free on purpose: the broker includes this
+// without linking evps_metrics (which itself links the broker).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace evps {
+
+struct CoveringCounters {
+  /// Subscribe forwards suppressed because a covering root already reaches
+  /// the target neighbour (the paper metric: dissemination messages saved).
+  std::uint64_t suppressed_forwards = 0;
+  /// Unsubscribes sent to retract a former root that a newly arrived
+  /// subscription now covers.
+  std::uint64_t demote_unsubscribes = 0;
+  /// Re-dissemination subscribes sent when a coverer's removal or update
+  /// promoted covered subscriptions back to roots (uncover-on-remove).
+  std::uint64_t resubscribes = 0;
+
+  /// Net subscription-dissemination messages avoided (can exceed the raw
+  /// suppression count's complement: retractions and re-disseminations are
+  /// traffic the optimisation itself emits).
+  [[nodiscard]] std::int64_t net_saved() const noexcept {
+    return static_cast<std::int64_t>(suppressed_forwards) -
+           static_cast<std::int64_t>(demote_unsubscribes) -
+           static_cast<std::int64_t>(resubscribes);
+  }
+
+  void reset() noexcept { *this = CoveringCounters{}; }
+};
+
+/// Print one row per broker plus a totals row: covering-pair verdicts from
+/// each broker's CoveringIndex and the traffic counters above.
+class Broker;
+void print_covering_report(const std::vector<const Broker*>& brokers, std::ostream& os);
+
+}  // namespace evps

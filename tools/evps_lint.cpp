@@ -6,6 +6,19 @@
 // any subscription is malformed, unsatisfiable, or fails to parse, so the
 // tool slots into CI and pre-deployment checks.
 //
+// Options:
+//   --covering   also run the pairwise covering analysis
+//                (analysis/covering.hpp) and warn about subscriptions whose
+//                publications are provably contained in an earlier one —
+//                redundant for covering-based routing.
+//   --json       machine-readable report on stdout (one JSON object; human
+//                text and caret diagnostics are suppressed).
+//   --werror     treat warnings (ad-uncovered verdicts, covering redundancy)
+//                as errors: they flip the exit code to 1.
+//
+// Exit codes: 0 = clean (warnings allowed unless --werror), 1 = at least one
+// error (or warning under --werror), 2 = usage or file I/O problem.
+//
 // Scenario format (one directive per line, '#' starts a comment):
 //
 //   var <name> in [<lo>, <hi>]          declare an evolution-variable range
@@ -22,6 +35,7 @@
 // must reach 150) and exits 1.
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,6 +44,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/covering.hpp"
 #include "common/sim_time.hpp"
 #include "message/codec.hpp"
 
@@ -37,12 +52,45 @@ namespace {
 
 using namespace evps;
 
+struct Options {
+  bool covering = false;
+  bool json = false;
+  bool werror = false;
+};
+
+struct Diagnostic {
+  int line_no = 0;
+  bool warning = false;  // false => error
+  std::string message;
+};
+
+struct SubRecord {
+  int index = 0;  // 1-based within the file
+  int line_no = 0;
+  std::string line;       // full source line (for caret diagnostics)
+  std::size_t body_col = 0;
+  std::string text;       // directive body as written
+  Subscription sub;
+  std::string verdict;
+  std::string diagnostic;
+  std::string folds_to;  // non-empty for constant folds
+};
+
+struct CoverFinding {
+  int coverer = 0;  // sub index that covers
+  int covered = 0;  // sub index made redundant
+};
+
 struct LintContext {
   std::string path;
+  Options opts;
   VariableRegistry registry;
   std::vector<Advertisement> ads;
-  int subscriptions = 0;
+  std::vector<SubRecord> subs;
+  std::vector<Diagnostic> diags;
+  std::vector<CoverFinding> covering;
   int errors = 0;
+  int warnings = 0;
 };
 
 std::string_view trim_view(std::string_view s) {
@@ -57,18 +105,26 @@ std::string_view trim_view(std::string_view s) {
 
 /// Print "file:line: error: ..." followed by the offending line with a caret
 /// under the bad token. `offset` is relative to `body`, which starts at
-/// column `body_col` of `line`.
-void caret_diagnostic(const LintContext& ctx, int line_no, const std::string& line,
+/// column `body_col` of `line`. Suppressed (recorded only) in JSON mode.
+void caret_diagnostic(LintContext& ctx, int line_no, const std::string& line,
                       std::size_t body_col, std::size_t offset, const std::string& token,
-                      const std::string& message) {
-  std::cerr << ctx.path << ":" << line_no << ": error: " << message << "\n";
+                      const std::string& message, bool warning = false) {
+  ctx.diags.push_back(Diagnostic{line_no, warning, message});
+  if (warning) {
+    ++ctx.warnings;
+  } else {
+    ++ctx.errors;
+  }
+  if (ctx.opts.json) return;
+  std::cerr << ctx.path << ":" << line_no << ": " << (warning ? "warning: " : "error: ")
+            << message << "\n";
   std::cerr << "  " << line << "\n";
   std::cerr << "  " << std::string(body_col + offset, ' ') << '^'
             << std::string(token.size() > 1 ? token.size() - 1 : 0, '~') << "\n";
 }
 
 /// `var <name> [= <value>] in [<lo>, <hi>]`
-bool handle_var(LintContext& ctx, int line_no, const std::string& line, std::string_view body) {
+void handle_var(LintContext& ctx, int line_no, const std::string& line, std::string_view body) {
   std::istringstream in{std::string(body)};
   std::string name;
   std::string tok;
@@ -89,19 +145,17 @@ bool handle_var(LintContext& ctx, int line_no, const std::string& line, std::str
       in.fail()) {
     caret_diagnostic(ctx, line_no, line, 0, 0, "",
                      "bad var directive (expected: var <name> [= <value>] in [<lo>, <hi>])");
-    return false;
+    return;
   }
   try {
     ctx.registry.declare_range(name, lo, hi);
     if (has_value) ctx.registry.set(name, value, SimTime::zero());
   } catch (const std::invalid_argument& e) {
     caret_diagnostic(ctx, line_no, line, 0, 0, "", e.what());
-    return false;
   }
-  return true;
 }
 
-bool handle_adv(LintContext& ctx, int line_no, const std::string& line, std::string_view body,
+void handle_adv(LintContext& ctx, int line_no, const std::string& line, std::string_view body,
                 std::size_t body_col) {
   try {
     // Reuse the subscription grammar for the predicate list; metadata
@@ -110,43 +164,135 @@ bool handle_adv(LintContext& ctx, int line_no, const std::string& line, std::str
     Advertisement adv(MessageId{static_cast<std::uint64_t>(ctx.ads.size() + 1)}, ClientId{0},
                       parsed.predicates());
     ctx.ads.push_back(std::move(adv));
-    return true;
   } catch (const CodecError& e) {
     caret_diagnostic(ctx, line_no, line, body_col, e.has_location() ? e.offset() : 0,
                      e.has_location() ? e.token() : "", e.what());
-    return false;
   }
 }
 
-bool handle_sub(LintContext& ctx, int line_no, const std::string& line, std::string_view body,
+void handle_sub(LintContext& ctx, int line_no, const std::string& line, std::string_view body,
                 std::size_t body_col) {
-  Subscription sub;
+  SubRecord rec;
   try {
-    sub = parse_subscription(body);
+    rec.sub = parse_subscription(body);
   } catch (const CodecError& e) {
     caret_diagnostic(ctx, line_no, line, body_col, e.has_location() ? e.offset() : 0,
                      e.has_location() ? e.token() : "", e.what());
-    return false;
+    return;
   }
-  ++ctx.subscriptions;
-  sub.set_id(SubscriptionId{static_cast<std::uint64_t>(ctx.subscriptions)});
+  rec.index = static_cast<int>(ctx.subs.size()) + 1;
+  rec.line_no = line_no;
+  rec.line = line;
+  rec.body_col = body_col;
+  rec.text = std::string(body);
+  rec.sub.set_id(SubscriptionId{static_cast<std::uint64_t>(rec.index)});
 
   std::vector<const Advertisement*> ads;
   ads.reserve(ctx.ads.size());
   for (const Advertisement& adv : ctx.ads) ads.push_back(&adv);
-  const SubscriptionAnalysis analysis = analyze_subscription(sub, ctx.registry, ads);
-
-  std::cout << ctx.path << ":" << line_no << ": sub " << ctx.subscriptions << ": "
-            << to_string(analysis.verdict);
-  if (!analysis.diagnostic.empty()) std::cout << " — " << analysis.diagnostic;
-  std::cout << "\n";
+  const SubscriptionAnalysis analysis = analyze_subscription(rec.sub, ctx.registry, ads);
+  rec.verdict = to_string(analysis.verdict);
+  rec.diagnostic = analysis.diagnostic;
   if (analysis.verdict == Verdict::kConstant && analysis.folded.has_value()) {
-    std::cout << "    folds to: " << serialize(*analysis.folded) << "\n";
+    rec.folds_to = serialize(*analysis.folded);
   }
-  return analysis.verdict != Verdict::kMalformed && analysis.verdict != Verdict::kUnsatisfiable;
+
+  if (!ctx.opts.json) {
+    std::cout << ctx.path << ":" << line_no << ": sub " << rec.index << ": " << rec.verdict;
+    if (!rec.diagnostic.empty()) std::cout << " — " << rec.diagnostic;
+    std::cout << "\n";
+    if (!rec.folds_to.empty()) std::cout << "    folds to: " << rec.folds_to << "\n";
+  }
+  if (analysis.verdict == Verdict::kMalformed || analysis.verdict == Verdict::kUnsatisfiable) {
+    ++ctx.errors;
+    ctx.diags.push_back(Diagnostic{line_no, false, rec.verdict + ": " + rec.diagnostic});
+  } else if (analysis.verdict == Verdict::kAdUncovered) {
+    // Installable but cannot match today: a warning (fails under --werror).
+    ++ctx.warnings;
+    ctx.diags.push_back(Diagnostic{line_no, true, rec.verdict + ": " + rec.diagnostic});
+  }
+  ctx.subs.push_back(std::move(rec));
 }
 
-int lint_file(const std::string& path) {
+/// Pairwise covering pass (--covering): warn about every subscription whose
+/// publication set is provably contained in another's — it is redundant for
+/// covering-based routing (the broker would suppress its dissemination).
+void covering_report(LintContext& ctx) {
+  for (const SubRecord& covered : ctx.subs) {
+    for (const SubRecord& coverer : ctx.subs) {
+      if (coverer.index == covered.index) continue;
+      if (covers(coverer.sub, covered.sub, ctx.registry) != CoverVerdict::kCovers) continue;
+      // Mutual covering (equivalent subscriptions): report only the later
+      // one so an equivalence class keeps exactly one representative.
+      if (coverer.index > covered.index &&
+          covers(covered.sub, coverer.sub, ctx.registry) == CoverVerdict::kCovers) {
+        continue;
+      }
+      ctx.covering.push_back(CoverFinding{coverer.index, covered.index});
+      caret_diagnostic(ctx, covered.line_no, covered.line, covered.body_col, 0, covered.text,
+                       "sub " + std::to_string(covered.index) + " is covered by sub " +
+                           std::to_string(coverer.index) + " (line " +
+                           std::to_string(coverer.line_no) +
+                           "): redundant for covering-based routing",
+                       /*warning=*/true);
+      break;  // one finding per covered subscription
+    }
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const LintContext& ctx, int exit_code, std::ostream& os) {
+  os << "{\"path\":\"" << json_escape(ctx.path) << "\",\"exit\":" << exit_code
+     << ",\"errors\":" << ctx.errors << ",\"warnings\":" << ctx.warnings
+     << ",\"subscriptions\":[";
+  for (std::size_t i = 0; i < ctx.subs.size(); ++i) {
+    const SubRecord& rec = ctx.subs[i];
+    if (i != 0) os << ",";
+    os << "{\"index\":" << rec.index << ",\"line\":" << rec.line_no << ",\"text\":\""
+       << json_escape(rec.text) << "\",\"verdict\":\"" << json_escape(rec.verdict) << "\"";
+    if (!rec.diagnostic.empty()) os << ",\"diagnostic\":\"" << json_escape(rec.diagnostic) << "\"";
+    if (!rec.folds_to.empty()) os << ",\"folds_to\":\"" << json_escape(rec.folds_to) << "\"";
+    os << "}";
+  }
+  os << "],\"diagnostics\":[";
+  for (std::size_t i = 0; i < ctx.diags.size(); ++i) {
+    const Diagnostic& d = ctx.diags[i];
+    if (i != 0) os << ",";
+    os << "{\"line\":" << d.line_no << ",\"severity\":\"" << (d.warning ? "warning" : "error")
+       << "\",\"message\":\"" << json_escape(d.message) << "\"}";
+  }
+  os << "],\"covering\":[";
+  for (std::size_t i = 0; i < ctx.covering.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "{\"coverer\":" << ctx.covering[i].coverer << ",\"covered\":" << ctx.covering[i].covered
+       << "}";
+  }
+  os << "]}\n";
+}
+
+int lint_file(const std::string& path, const Options& opts) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "evps-lint: cannot open " << path << "\n";
@@ -154,6 +300,7 @@ int lint_file(const std::string& path) {
   }
   LintContext ctx;
   ctx.path = path;
+  ctx.opts = opts;
   std::string line;
   int line_no = 0;
   while (std::getline(in, line)) {
@@ -166,42 +313,69 @@ int lint_file(const std::string& path) {
         space == std::string_view::npos ? std::string_view{} : trim_view(rest.substr(space));
     const auto body_col =
         body.empty() ? line.size() : static_cast<std::size_t>(body.data() - line.data());
-    bool ok = false;
     if (directive == "var") {
-      ok = handle_var(ctx, line_no, line, body);
+      handle_var(ctx, line_no, line, body);
     } else if (directive == "adv") {
-      ok = handle_adv(ctx, line_no, line, body, body_col);
+      handle_adv(ctx, line_no, line, body, body_col);
     } else if (directive == "sub") {
-      ok = handle_sub(ctx, line_no, line, body, body_col);
+      handle_sub(ctx, line_no, line, body, body_col);
     } else {
       caret_diagnostic(ctx, line_no, line, 0, 0, "",
                        "unknown directive '" + std::string(directive) +
                            "' (expected var, adv or sub)");
     }
-    if (!ok) ++ctx.errors;
   }
-  if (ctx.errors != 0) {
-    std::cout << path << ": " << ctx.errors << " problem(s) in " << ctx.subscriptions
-              << " subscription(s)\n";
-    return 1;
+  if (opts.covering) covering_report(ctx);
+
+  const bool failed = ctx.errors != 0 || (opts.werror && ctx.warnings != 0);
+  const int rc = failed ? 1 : 0;
+  if (opts.json) {
+    print_json(ctx, rc, std::cout);
+    return rc;
   }
-  std::cout << path << ": " << ctx.subscriptions << " subscription(s), no problems\n";
-  return 0;
+  std::cout << path << ": " << ctx.subs.size() << " subscription(s), " << ctx.errors
+            << " error(s), " << ctx.warnings << " warning(s)";
+  if (opts.werror && ctx.errors == 0 && ctx.warnings != 0) std::cout << " [--werror]";
+  std::cout << "\n";
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: evps-lint <scenario>...\n"
+  Options opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--covering") {
+      opts.covering = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--werror") {
+      opts.werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      paths.clear();
+      break;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "evps-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: evps-lint [--covering] [--json] [--werror] <scenario>...\n"
               << "Statically analyzes subscription scenarios; see tools/evps_lint.cpp\n"
-              << "for the scenario format. Exits nonzero on unsatisfiable or malformed\n"
-              << "subscriptions.\n";
+              << "for the scenario format.\n"
+              << "  --covering  warn about subscriptions covered by another (redundant)\n"
+              << "  --json      machine-readable report on stdout\n"
+              << "  --werror    warnings (uncovered/covering) become errors\n"
+              << "Exit codes: 0 clean, 1 problems found, 2 usage/IO error.\n";
     return 2;
   }
   int rc = 0;
-  for (int i = 1; i < argc; ++i) {
-    rc = std::max(rc, lint_file(argv[i]));
+  for (const std::string& path : paths) {
+    rc = std::max(rc, lint_file(path, opts));
   }
   return rc;
 }
