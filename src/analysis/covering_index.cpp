@@ -1,7 +1,7 @@
 #include "analysis/covering_index.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 
 namespace evps {
 namespace {
@@ -72,7 +72,12 @@ void CoveringIndex::bucket_erase(SubscriptionId id, const Entry& e) {
 
 CoveringIndex::AddResult CoveringIndex::add(const Subscription& sub,
                                             const VariableRegistry& registry) {
-  assert(!contains(sub.id()));
+  if (contains(sub.id())) {
+    // A debug-only assert is not enough: a release-build duplicate would
+    // rewire other entries' parent/children links before the final emplace
+    // silently no-ops, corrupting the forest.
+    throw std::invalid_argument("CoveringIndex::add: duplicate subscription id");
+  }
   Entry e;
   e.inner = inner_shape(sub, registry);
   e.outer = outer_shape(sub, registry);

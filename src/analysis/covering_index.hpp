@@ -57,8 +57,9 @@ class CoveringIndex {
     std::vector<SubscriptionId> promoted;
   };
 
-  /// Analyze `sub` against the current roots and insert it. `sub.id()` must
-  /// not already be present.
+  /// Analyze `sub` against the current roots and insert it. Throws
+  /// std::invalid_argument when `sub.id()` is already present (a duplicate
+  /// would corrupt the forest's parent/children links).
   AddResult add(const Subscription& sub, const VariableRegistry& registry);
 
   /// Remove a subscription; no-op result when the id is unknown or a child.

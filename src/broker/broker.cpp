@@ -239,6 +239,16 @@ void Broker::handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from) {
 void Broker::handle_update(const SubscriptionUpdateMsg& msg, NodeId from) {
   ++stats_.sub_updates;
   if (!engine_->contains(msg.id)) return;
+  // Reject oversized value lists before touching the covering index:
+  // engine_->update throws on them, and by that point the index entry would
+  // already be gone while the subscription stays installed — a desync that
+  // silently loses the promoted children's re-dissemination later.
+  if (const SubscriptionPtr current = engine_->subscription_of(msg.id);
+      current && msg.new_values.size() > current->predicates().size()) {
+    EVPS_WARN(name_, "subscription update ", msg.id,
+              " carries more values than predicates; dropped");
+    return;
+  }
   // A parametric update changes the match set, so every covering relation
   // involving this subscription is void: retract it from the forest (its
   // covered children resubscribe upstream before the update propagates) and
@@ -253,15 +263,41 @@ void Broker::handle_update(const SubscriptionUpdateMsg& msg, NodeId from) {
       if (target != from) net_.send(node_id(), target, msg);
     }
   }
-  if (covering_) {
-    const SubscriptionPtr sub = engine_->subscription_of(msg.id);
-    const CoveringIndex::AddResult cover = covering_->add(*sub, registry_);
-    // If the updated subscription stands as a root, it must reach its full
-    // target set: directions suppressed under its old coverer receive the
+  if (!covering_) return;
+  const SubscriptionPtr sub = engine_->subscription_of(msg.id);
+  const CoveringIndex::AddResult cover = covering_->add(*sub, registry_);
+  if (!cover.parent.valid()) {
+    // The updated subscription stands as a root: it must reach its full
+    // target set, so directions suppressed under its old coverer receive the
     // updated subscription as a fresh subscribe (directions already
-    // forwarded-to got the update message above). A re-covered subscription
-    // keeps its existing forwards — they remain sound, just redundant.
-    if (!cover.parent.valid()) resubscribe_promoted({msg.id});
+    // forwarded-to got the update message above). Roots it newly covers are
+    // retracted behind it, exactly as on a covering subscribe — their
+    // children were suppressed before and stay suppressed.
+    resubscribe_promoted({msg.id});
+    if (!cover.demoted.empty()) retract_demoted(cover.demoted, sub_forwards_[msg.id]);
+    return;
+  }
+  // Re-covered — possibly by a DIFFERENT root. The forwards on record were
+  // suppressed against the OLD root's reach, and the new parent never
+  // forwards towards its own origin direction, so keeping them unchanged
+  // can leave a direction the updated predicates now need permanently
+  // unserved. Recompute the full target set and forward the updated
+  // subscription everywhere the new parent does not already reach.
+  auto& forwards = sub_forwards_[msg.id];
+  const auto parent_it = sub_forwards_.find(cover.parent);
+  const std::vector<NodeId>* parent_fwd =
+      parent_it != sub_forwards_.end() ? &parent_it->second : nullptr;
+  for (const auto target :
+       subscription_forward_targets(*sub, engine_->destination_of(msg.id))) {
+    if (std::find(forwards.begin(), forwards.end(), target) != forwards.end()) continue;
+    if (parent_fwd != nullptr &&
+        std::find(parent_fwd->begin(), parent_fwd->end(), target) != parent_fwd->end()) {
+      ++covering_counters_.suppressed_forwards;
+      continue;
+    }
+    net_.send(node_id(), target, SubscribeMsg{sub});
+    forwards.push_back(target);
+    ++covering_counters_.resubscribes;
   }
 }
 

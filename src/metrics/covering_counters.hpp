@@ -21,7 +21,9 @@ struct CoveringCounters {
   /// subscription now covers.
   std::uint64_t demote_unsubscribes = 0;
   /// Re-dissemination subscribes sent when a coverer's removal or update
-  /// promoted covered subscriptions back to roots (uncover-on-remove).
+  /// promoted covered subscriptions back to roots (uncover-on-remove), or
+  /// when an updated subscription re-attached under a different root whose
+  /// reach misses directions the old root served.
   std::uint64_t resubscribes = 0;
 
   /// Net subscription-dissemination messages avoided (can exceed the raw

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "analysis/covering.hpp"
 #include "analysis/covering_index.hpp"
@@ -230,6 +231,17 @@ TEST_F(CoveringIndexTest, FirstSubscriptionBecomesRoot) {
   EXPECT_TRUE(r.demoted.empty());
   EXPECT_TRUE(index.is_root(SubscriptionId{1}));
   EXPECT_EQ(index.root_count(), 1u);
+}
+
+TEST_F(CoveringIndexTest, DuplicateAddThrowsWithoutMutatingTheForest) {
+  add(1, "x >= 0; x <= 100");
+  add(2, "x >= 10; x <= 20");
+  EXPECT_THROW(add(1, "x >= 5; x <= 50"), std::invalid_argument);
+  EXPECT_THROW(add(2, "x >= 10; x <= 20"), std::invalid_argument);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.root_count(), 1u);
+  EXPECT_EQ(index.root_of(SubscriptionId{2}), SubscriptionId{1});
+  EXPECT_EQ(index.children_of(SubscriptionId{1}).size(), 1u);
 }
 
 TEST_F(CoveringIndexTest, CoveredSubscriptionAttachesAsChild) {

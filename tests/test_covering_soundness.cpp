@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -209,6 +210,7 @@ struct RunResult {
   std::uint64_t subscription_msgs = 0;
   std::uint64_t suppressed = 0;
   std::uint64_t resubscribes = 0;
+  std::uint64_t demote_unsubscribes = 0;
 };
 
 RunResult run_scenario(bool covering_on) {
@@ -286,6 +288,7 @@ RunResult run_scenario(bool covering_on) {
     result.subscription_msgs += b->stats().subscription_msgs;
     result.suppressed += b->covering_counters().suppressed_forwards;
     result.resubscribes += b->covering_counters().resubscribes;
+    result.demote_unsubscribes += b->covering_counters().demote_unsubscribes;
   }
   return result;
 }
@@ -305,6 +308,130 @@ TEST(CoveringSoundness, BrokerDeliveriesBitIdenticalWithCoveringRouting) {
   EXPECT_EQ(off.suppressed, 0u);
   EXPECT_GT(on.suppressed, 0u);
   EXPECT_GT(on.resubscribes, 0u);  // uncover-on-remove exercised
+  EXPECT_LT(on.subscription_msgs, off.subscription_msgs);
+}
+
+// --- end-to-end: parametric updates that re-parent or demote ----------------
+//
+// Line e1 - hub - e2, publishers on both ends. At the hub:
+//   A [0,30]   (local client)  — forwarded towards e1 and e2
+//   B [15,70]  (client on e1)  — forwarded towards e2 only (never back
+//                                towards its own origin e1)
+//   W [80,95]  (local client)  — forwarded towards e1 and e2
+//   V [82,93]  (local client)  — covered by W, fully suppressed
+//   X [10,20]  (local client)  — covered by A, fully suppressed
+//
+// Then X updates to [20,60]: it leaves A and re-attaches under B, whose
+// reach misses the e1 direction — the hub must forward the updated X
+// towards e1 or pub1's publications in (30,60] are lost forever. V updates
+// to [75,100]: it becomes a root, demotes W, and W's now-redundant upstream
+// forwards are retracted. A deliberately oversized update (more values than
+// predicates) is dropped at the first broker without desyncing the engine
+// from the covering index.
+RunResult run_update_scenario(bool covering_on) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  cfg.routing = RoutingMode::kAdvertisement;
+  cfg.covering = covering_on;
+  auto brokers = overlay.build_line(3, cfg, Duration::millis(5));
+  Broker& e1 = *brokers[0];
+  Broker& hub = *brokers[1];
+  Broker& e2 = *brokers[2];
+
+  PubSubClient& pub1 = overlay.add_client("pub1");
+  PubSubClient& pub2 = overlay.add_client("pub2");
+  PubSubClient& s_a = overlay.add_client("ua");
+  PubSubClient& s_b = overlay.add_client("ub");
+  PubSubClient& s_x = overlay.add_client("ux");
+  PubSubClient& s_w = overlay.add_client("uw");
+  PubSubClient& s_v = overlay.add_client("uv");
+  pub1.connect(e1, Duration::millis(1));
+  pub2.connect(e2, Duration::millis(1));
+  s_b.connect(e1, Duration::millis(1));
+  s_a.connect(hub, Duration::millis(1));
+  s_x.connect(hub, Duration::millis(1));
+  s_w.connect(hub, Duration::millis(1));
+  s_v.connect(hub, Duration::millis(1));
+
+  pub1.advertise({parse_predicate("price >= 0"), parse_predicate("price <= 100")});
+  pub2.advertise({parse_predicate("price >= 0"), parse_predicate("price <= 100")});
+  sim.run_until(sec(1));
+
+  SubscriptionId x_id{};
+  SubscriptionId v_id{};
+  sim.after(Duration::seconds(0.2), [&] { s_a.subscribe("price >= 0; price <= 30"); });
+  sim.after(Duration::seconds(0.4), [&] { s_b.subscribe("price >= 15; price <= 70"); });
+  sim.after(Duration::seconds(0.6), [&] { s_w.subscribe("price >= 80; price <= 95"); });
+  sim.after(Duration::seconds(0.8), [&] { v_id = s_v.subscribe("price >= 82; price <= 93"); });
+  sim.after(Duration::seconds(1.0), [&] { x_id = s_x.subscribe("price >= 10; price <= 20"); });
+
+  const double prices[] = {18, 25, 40, 55, 85};
+  double when = 1.5;
+  for (const double p : prices) {
+    sim.after(Duration::seconds(when), [&pub1, p] { pub1.publish("price = " + std::to_string(p)); });
+    sim.after(Duration::seconds(when + 0.1),
+              [&pub2, p] { pub2.publish("price = " + std::to_string(p)); });
+    when += 0.25;
+  }
+
+  // Re-parent: X hops from A's covering set into B's.
+  sim.after(Duration::seconds(3.0),
+            [&] { s_x.update_subscription(x_id, {Value{20.0}, Value{60.0}}); });
+  // Demote-on-update: V widens past its coverer W.
+  sim.after(Duration::seconds(3.2),
+            [&] { s_v.update_subscription(v_id, {Value{75.0}, Value{100.0}}); });
+  // Oversized on purpose: three values for two predicates.
+  sim.after(Duration::seconds(3.4), [&] {
+    s_x.update_subscription(x_id, {std::nullopt, std::nullopt, Value{99.0}});
+  });
+
+  when = 4.0;
+  for (const double p : prices) {
+    sim.after(Duration::seconds(when), [&pub1, p] { pub1.publish("price = " + std::to_string(p)); });
+    sim.after(Duration::seconds(when + 0.1),
+              [&pub2, p] { pub2.publish("price = " + std::to_string(p)); });
+    when += 0.25;
+  }
+  sim.run_until(sec(8));
+
+  RunResult result;
+  for (const PubSubClient* c : {&s_a, &s_b, &s_x, &s_w, &s_v}) {
+    std::vector<std::pair<std::int64_t, std::string>> log;
+    for (const auto& d : c->deliveries()) {
+      log.emplace_back(d.when.micros(), serialize(d.pub));
+    }
+    result.deliveries.push_back(std::move(log));
+  }
+  for (const auto& b : overlay.brokers()) {
+    result.subscription_msgs += b->stats().subscription_msgs;
+    result.suppressed += b->covering_counters().suppressed_forwards;
+    result.resubscribes += b->covering_counters().resubscribes;
+    result.demote_unsubscribes += b->covering_counters().demote_unsubscribes;
+  }
+  return result;
+}
+
+TEST(CoveringSoundness, UpdateReparentingKeepsDeliveriesBitIdentical) {
+  const RunResult off = run_update_scenario(false);
+  const RunResult on = run_update_scenario(true);
+
+  ASSERT_EQ(off.deliveries.size(), on.deliveries.size());
+  for (std::size_t c = 0; c < off.deliveries.size(); ++c) {
+    EXPECT_EQ(off.deliveries[c], on.deliveries[c]) << "client " << c;
+  }
+  for (const auto& log : off.deliveries) EXPECT_FALSE(log.empty());
+  // The regression probe is real traffic: X matches 18 twice before the
+  // update and 25/40/55 from both publishers after it — the latter three
+  // from pub1 only arrive if the hub forwarded the re-parented X towards
+  // e1, the direction its new root B never reaches.
+  EXPECT_EQ(off.deliveries[2].size(), 8u);
+
+  EXPECT_EQ(off.suppressed, 0u);
+  EXPECT_GT(on.suppressed, 0u);
+  EXPECT_GT(on.resubscribes, 0u);         // re-parent + promoted-root forwards
+  EXPECT_GT(on.demote_unsubscribes, 0u);  // W retracted behind the updated V
   EXPECT_LT(on.subscription_msgs, off.subscription_msgs);
 }
 
