@@ -88,6 +88,108 @@ BENCHMARK(BM_VesMatch)->Arg(100)->Arg(1000)->Arg(5000)->Arg(10000);
 BENCHMARK(BM_LeesMatch)->Arg(100)->Arg(1000)->Arg(5000)->Arg(10000);
 BENCHMARK(BM_CleesMatch)->Arg(100)->Arg(1000)->Arg(5000)->Arg(10000);
 
+void engine_sharded_match_bench(benchmark::State& state, EngineKind kind) {
+  // Args: {subscriptions, matcher shards}. Same workload as the plain match
+  // bench; K=1 is bit-identical to it, higher K adds the fork/join (and, on
+  // hosts with free cores, the parallel-section win).
+  BenchHost host;
+  EngineConfig cfg;
+  cfg.kind = kind;
+  cfg.matcher_threads = static_cast<std::size_t>(state.range(1));
+  const auto engine = make_engine(cfg);
+  Rng rng{7};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    engine->add(aoi_subscription(i + 1, rng), NodeId{i % 100}, host);
+  }
+  std::vector<NodeId> dests;
+  std::int64_t tick = 0;
+  for (auto _ : state) {
+    host.advance_to(SimTime::from_micros(tick += 100));
+    Publication pub;
+    pub.set("x", rng.uniform(-100.0, 100.0));
+    pub.set("y", rng.uniform(-100.0, 100.0));
+    dests.clear();
+    engine->match(pub, nullptr, host, dests);
+    benchmark::DoNotOptimize(dests.size());
+  }
+}
+
+void BM_VesShardedMatch(benchmark::State& state) {
+  engine_sharded_match_bench(state, EngineKind::kVes);
+}
+void BM_LeesShardedMatch(benchmark::State& state) {
+  engine_sharded_match_bench(state, EngineKind::kLees);
+}
+void BM_CleesShardedMatch(benchmark::State& state) {
+  engine_sharded_match_bench(state, EngineKind::kClees);
+}
+BENCHMARK(BM_VesShardedMatch)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8});
+BENCHMARK(BM_LeesShardedMatch)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8});
+BENCHMARK(BM_CleesShardedMatch)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8});
+
+void engine_batch_match_bench(benchmark::State& state, EngineKind kind) {
+  // Args: {subscriptions, matcher shards, batch size}. One engine-level
+  // match_batch() per iteration; items processed = publications.
+  BenchHost host;
+  EngineConfig cfg;
+  cfg.kind = kind;
+  cfg.matcher_threads = static_cast<std::size_t>(state.range(1));
+  const auto engine = make_engine(cfg);
+  Rng rng{7};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    engine->add(aoi_subscription(i + 1, rng), NodeId{i % 100}, host);
+  }
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  std::vector<Publication> pubs(batch);
+  std::vector<std::vector<NodeId>> dests;
+  std::int64_t tick = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    host.advance_to(SimTime::from_micros(tick += 100));
+    for (auto& pub : pubs) {
+      pub = Publication{};
+      pub.set("x", rng.uniform(-100.0, 100.0));
+      pub.set("y", rng.uniform(-100.0, 100.0));
+      pub.set_entry_time(host.now());
+    }
+    state.ResumeTiming();
+    engine->match_batch(pubs, nullptr, host, dests);
+    benchmark::DoNotOptimize(dests.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+
+void BM_VesMatchBatch(benchmark::State& state) {
+  engine_batch_match_bench(state, EngineKind::kVes);
+}
+void BM_LeesMatchBatch(benchmark::State& state) {
+  engine_batch_match_bench(state, EngineKind::kLees);
+}
+BENCHMARK(BM_VesMatchBatch)
+    ->Args({10000, 4, 1})
+    ->Args({10000, 4, 8})
+    ->Args({10000, 4, 32})
+    ->Args({10000, 1, 8});
+BENCHMARK(BM_LeesMatchBatch)
+    ->Args({10000, 4, 1})
+    ->Args({10000, 4, 8})
+    ->Args({10000, 4, 32})
+    ->Args({10000, 1, 8});
+
 void BM_VesEvolutionRound(benchmark::State& state) {
   // One full evolution round (every subscription re-materialised) with the
   // matcher holding `n` subscriptions — the Figure 9 maintenance cost.

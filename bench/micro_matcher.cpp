@@ -10,6 +10,7 @@
 #include "matching/brute_force_matcher.hpp"
 #include "matching/churn_matcher.hpp"
 #include "matching/counting_matcher.hpp"
+#include "matching/sharded_matcher.hpp"
 
 namespace {
 
@@ -120,6 +121,59 @@ void BM_LargePopulationMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_LargePopulationMatch<CountingMatcher>);
 BENCHMARK(BM_LargePopulationMatch<ChurnMatcher>);
+
+void BM_ShardedMatch(benchmark::State& state) {
+  // Args: {subscriptions, shards}. K=1 is the exact unsharded code path, so
+  // the K sweep isolates the fork-join + merge overhead against the
+  // parallel-section win (which needs as many free cores as shards).
+  ShardedMatcher matcher{MatcherKind::kCounting, static_cast<std::size_t>(state.range(1))};
+  Rng rng{4};
+  fill(matcher, static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    Publication pub;
+    pub.set("x", rng.uniform(-100.0, 100.0));
+    pub.set("y", rng.uniform(-100.0, 100.0));
+    out.clear();
+    matcher.match(pub, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_ShardedMatch)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8});
+
+void BM_ShardedMatchBatch(benchmark::State& state) {
+  // Args: {subscriptions, shards, batch size}. One fork/join per batch
+  // instead of per publication; items processed = publications, so per-pub
+  // cost is comparable across batch sizes.
+  ShardedMatcher matcher{MatcherKind::kCounting, static_cast<std::size_t>(state.range(1))};
+  Rng rng{5};
+  fill(matcher, static_cast<std::size_t>(state.range(0)), rng);
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  std::vector<Publication> pubs(batch);
+  std::vector<std::vector<SubscriptionId>> out;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& pub : pubs) {
+      pub = Publication{};
+      pub.set("x", rng.uniform(-100.0, 100.0));
+      pub.set("y", rng.uniform(-100.0, 100.0));
+    }
+    state.ResumeTiming();
+    matcher.match_batch(pubs, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ShardedMatchBatch)
+    ->Args({10000, 1, 8})
+    ->Args({10000, 4, 1})
+    ->Args({10000, 4, 8})
+    ->Args({10000, 4, 32})
+    ->Args({10000, 8, 32});
 
 }  // namespace
 

@@ -14,6 +14,7 @@ Broker::Broker(std::string name, Network& net, BrokerConfig config)
 }
 
 Broker::~Broker() {
+  *alive_ = false;
   for (auto& monitor : monitors_) monitor.cancel();
 }
 
@@ -315,9 +316,41 @@ void Broker::handle_publish(PublishMsg msg, NodeId from) {
     }
   }
 
+  if (config_.batch_size > 1 && msg.snapshot == nullptr) {
+    pending_pubs_.emplace_back(std::move(msg), from);
+    if (pending_pubs_.size() >= config_.batch_size) {
+      flush_pending_publications();
+    } else if (!flush_scheduled_) {
+      flush_scheduled_ = true;
+      // Zero-delay flush: it runs in the same virtual instant, after every
+      // already-queued same-time event (simulator FIFO), so publications
+      // arriving in one instant share a batch and nothing is delayed.
+      schedule(Duration::zero(), [this, alive = alive_] {
+        if (*alive) flush_pending_publications();
+      });
+    }
+    return;
+  }
+
   std::vector<NodeId> destinations;
   engine_->match(msg.pub, msg.snapshot.get(), *this, destinations);
+  forward_publication(msg, from, destinations);
+}
 
+void Broker::flush_pending_publications() {
+  flush_scheduled_ = false;
+  if (pending_pubs_.empty()) return;
+  batch_pubs_.clear();
+  for (const auto& [msg, from] : pending_pubs_) batch_pubs_.push_back(msg.pub);
+  engine_->match_batch(batch_pubs_, nullptr, *this, batch_dests_);
+  for (std::size_t i = 0; i < pending_pubs_.size(); ++i) {
+    forward_publication(pending_pubs_[i].first, pending_pubs_[i].second, batch_dests_[i]);
+  }
+  pending_pubs_.clear();
+}
+
+void Broker::forward_publication(const PublishMsg& msg, NodeId from,
+                                 const std::vector<NodeId>& destinations) {
   for (const auto dest : destinations) {
     if (dest == from) continue;  // never route back where it came from
     if (client_neighbors_.contains(dest)) {

@@ -55,6 +55,15 @@ struct BrokerConfig {
   /// directions are provably served by the root for every reachable
   /// evolution-variable assignment.
   bool covering = false;
+  /// Publication batching: buffer up to this many snapshot-free publications
+  /// and match them with one BrokerEngine::match_batch call (amortising the
+  /// matcher-shard pool dispatch). Buffered publications are flushed by a
+  /// zero-delay timer in the same virtual instant — the simulator's
+  /// same-time FIFO means timestamps, delivery sets and per-link message
+  /// order towards each destination are unchanged. 1 (the default) keeps
+  /// the immediate per-publication path. Snapshot-carrying publications
+  /// always match immediately (each carries its own snapshot).
+  std::size_t batch_size = 1;
 };
 
 struct BrokerStats {
@@ -143,6 +152,11 @@ class Broker final : public NetworkNode, public EngineHost {
   void handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from);
   void handle_update(const SubscriptionUpdateMsg& msg, NodeId from);
   void handle_publish(PublishMsg msg, NodeId from);
+  /// Match + forward everything in pending_pubs_ with one engine batch call.
+  void flush_pending_publications();
+  /// Forward `msg` to `destinations` (skipping `from`), counting stats.
+  void forward_publication(const PublishMsg& msg, NodeId from,
+                           const std::vector<NodeId>& destinations);
   void handle_advertise(const AdvertiseMsg& msg, NodeId from);
   void handle_unadvertise(const UnadvertiseMsg& msg, NodeId from);
   void handle_var_update(const VarUpdateMsg& msg, NodeId from);
@@ -183,6 +197,15 @@ class Broker final : public NetworkNode, public EngineHost {
   /// Load-monitor timers; cancelled on destruction so no simulator callback
   /// outlives the broker it captures.
   std::vector<TimerHandle> monitors_;
+  /// Publication batching buffer (BrokerConfig::batch_size > 1): arrivals in
+  /// FIFO order with the neighbour each came from, plus grow-only scratch
+  /// for the contiguous engine batch. The alive flag guards the zero-delay
+  /// flush timer against broker teardown.
+  std::vector<std::pair<PublishMsg, NodeId>> pending_pubs_;
+  std::vector<Publication> batch_pubs_;
+  std::vector<std::vector<NodeId>> batch_dests_;
+  bool flush_scheduled_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   BrokerStats stats_;
   AnalysisCounters analysis_counters_;
   /// Covering forest over installed subscriptions (BrokerConfig::covering).

@@ -1,0 +1,178 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace evps {
+
+namespace {
+
+// Set while a thread is inside a task (worker or the caller draining its own
+// job), so a nested run() on the same thread executes inline instead of
+// deadlocking on the one-job-at-a-time serialisation.
+thread_local bool t_in_pool_task = false;
+
+struct InTaskGuard {
+  // Save/restore rather than set/clear: a nested inline run() creates its
+  // own guard, and clearing on its exit would let a *later* nested call from
+  // the still-running outer task take the full dispatch path and deadlock on
+  // the job serialisation.
+  bool prev = t_in_pool_task;
+  InTaskGuard() { t_in_pool_task = true; }
+  ~InTaskGuard() { t_in_pool_task = prev; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::execute(Task task, void* ctx, std::size_t n) {
+  InTaskGuard guard;
+  for (std::size_t i = 0; i < n; ++i) task(ctx, i);
+}
+
+void ThreadPool::run(std::size_t n, Task task, void* ctx) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty() || t_in_pool_task) {
+    execute(task, ctx, n);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(run_mu_);
+
+  {
+    // Publish the job. A worker that woke late for the *previous* job may
+    // still be registered in its claim loop (its claims all fail, but it
+    // reads next_/done_), so wait for active_ == 0 before recycling the
+    // counters. Workers register and deregister under mu_, which makes this
+    // wait race-free.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_.load(std::memory_order_acquire) == 0; });
+    task_ = task;
+    ctx_ = ctx;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+
+  // The caller participates: claim indexes alongside the workers.
+  {
+    InTaskGuard guard;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        task(ctx, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      done_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  // Wait for the workers to drain the rest AND step out of the claim loop
+  // (active_ == 0) so the next job may safely reset the counters. Spin
+  // briefly first: per-publication dispatches finish in microseconds and a
+  // futex sleep would dominate.
+  auto finished = [&] {
+    return done_.load(std::memory_order_acquire) == n &&
+           active_.load(std::memory_order_acquire) == 0;
+  };
+  for (int spin = 0; spin < 8192 && !finished(); ++spin) {
+    std::this_thread::yield();
+  }
+  if (!finished()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, finished);
+  }
+
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    // Spin briefly for the next job before sleeping on the condvar.
+    for (int spin = 0; spin < 4096; ++spin) {
+      if (gen_.load(std::memory_order_acquire) != seen_gen ||
+          stopping_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+
+    Task task;
+    void* ctx;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return gen_.load(std::memory_order_relaxed) != seen_gen ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      seen_gen = gen_.load(std::memory_order_relaxed);
+      task = task_;
+      ctx = ctx_;
+      n = n_;
+      // Registering under mu_ before the first claim means run() cannot
+      // observe active_ == 0 and recycle the counters while this worker is
+      // still inside the claim loop of the old job.
+      active_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    {
+      InTaskGuard guard;
+      for (;;) {
+        const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          task(ctx, i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!error_) error_ = std::current_exception();
+        }
+        done_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.fetch_sub(1, std::memory_order_release);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t cap = std::min<std::size_t>(hw == 0 ? 1 : hw, 16);
+    return cap > 1 ? cap - 1 : std::size_t{1};
+  }());
+  return pool;
+}
+
+}  // namespace evps

@@ -1,0 +1,100 @@
+// Persistent fork-join worker pool for the sharded matching hot path.
+//
+// The pool executes one *job* at a time: run(n, task, ctx) makes task(ctx, i)
+// execute exactly once for every index i in [0, n), spread across the worker
+// threads and the calling thread, and returns when all indexes completed.
+// Callers from different threads are serialised (one job in flight), so a
+// single process-wide pool can back every broker engine without the engines
+// coordinating.
+//
+// Design constraints, in order:
+//   * Determinism — the pool only distributes *indexes*; tasks own disjoint
+//     state (one matcher shard each) and all merging happens on the caller
+//     after run() returns, so results never depend on scheduling.
+//   * No steady-state allocation — the job descriptor is a function pointer
+//     plus a context pointer (no std::function), and completion tracking is
+//     two atomics. A publication match dispatch touches the heap zero times.
+//   * TSan-clean — publication of the job descriptor is ordered by the
+//     release store of the job generation and the acquire loads in the
+//     workers; completion by the acq_rel fetch_add chain on done_. Sleeps
+//     use a mutex/condvar pair with the predicate re-checked under the lock.
+//   * Safe under nesting — a task that (indirectly) calls run() again
+//     executes the nested job inline on its own thread instead of
+//     deadlocking on the single-job serialisation.
+//
+// Workers spin briefly before sleeping so that back-to-back match dispatches
+// (the per-publication pattern) do not pay a futex wake each time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace evps {
+
+class ThreadPool {
+ public:
+  /// Job body: called once per index with the caller-supplied context.
+  using Task = void (*)(void* ctx, std::size_t index);
+
+  /// Spawns `threads` workers (0 is valid: every job runs inline on the
+  /// caller, which keeps single-core and test configurations trivial).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers plus the participating caller.
+  [[nodiscard]] std::size_t concurrency() const noexcept { return workers_.size() + 1; }
+
+  /// Execute task(ctx, i) for every i in [0, n); returns when all are done.
+  /// The first exception thrown by any index is rethrown on the caller after
+  /// every claimed index finished. Thread-safe; concurrent callers queue.
+  void run(std::size_t n, Task task, void* ctx);
+
+  /// Convenience wrapper: fn must be an lvalue callable taking std::size_t.
+  template <class F>
+  void run_indexed(std::size_t n, F& fn) {
+    static_assert(std::is_invocable_v<F&, std::size_t>);
+    run(
+        n, [](void* ctx, std::size_t i) { (*static_cast<F*>(ctx))(i); },
+        const_cast<std::remove_const_t<F>*>(&fn));
+  }
+
+  /// Process-wide pool shared by all sharded matchers: hardware_concurrency
+  /// minus the caller, clamped to [1, 16] workers, created on first use.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+  void execute(Task task, void* ctx, std::size_t n);
+
+  // Job descriptor: written by run() before the gen_ release store, read by
+  // workers after their acquire load of gen_ (ordinary fields are fine, the
+  // generation handshake orders them).
+  Task task_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::size_t> next_{0};    // next unclaimed index
+  std::atomic<std::size_t> done_{0};    // completed indexes
+  std::atomic<std::size_t> active_{0};  // workers inside the claim loop
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;                // guards the condvars' predicates
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::exception_ptr error_;     // first task exception; guarded by mu_
+
+  std::mutex run_mu_;            // serialises concurrent run() callers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace evps

@@ -88,8 +88,11 @@ std::string static_dedup_key(NodeId dest, const std::vector<Predicate>& preds) {
   return key;
 }
 
-BrokerEngine::BrokerEngine(const EngineConfig& config)
-    : config_(config), matcher_(make_matcher(config.matcher)) {}
+BrokerEngine::BrokerEngine(const EngineConfig& config) : config_(config) {
+  auto sharded = std::make_unique<ShardedMatcher>(config.matcher, config.matcher_threads);
+  sharded_ = sharded.get();
+  matcher_ = std::move(sharded);
+}
 
 void BrokerEngine::add(const SubscriptionPtr& sub, NodeId dest, EngineHost& host,
                        bool dest_is_broker) {
@@ -154,6 +157,45 @@ void BrokerEngine::match(const Publication& pub, const VariableSnapshot* snapsho
   destinations.erase(std::unique(destinations.begin(), destinations.end()), destinations.end());
 }
 
+void BrokerEngine::match_batch(std::span<const Publication> pubs,
+                               const VariableSnapshot* snapshot, EngineHost& host,
+                               std::vector<std::vector<NodeId>>& destinations) {
+  if (pubs.empty()) return;
+  const auto start = std::chrono::steady_clock::now();
+  if (destinations.size() < pubs.size()) destinations.resize(pubs.size());
+  for (std::size_t i = 0; i < pubs.size(); ++i) destinations[i].clear();
+  do_match_batch(pubs, snapshot, host, destinations);
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    auto& dests = destinations[i];
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+  }
+  const auto end = std::chrono::steady_clock::now();
+  batch_counters_.record(pubs.size(), std::chrono::duration<double>(end - start).count());
+}
+
+void BrokerEngine::do_match_batch(std::span<const Publication> pubs,
+                                  const VariableSnapshot* snapshot, EngineHost& host,
+                                  std::vector<std::vector<NodeId>>& destinations) {
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    do_match(pubs[i], snapshot, host, destinations[i]);
+  }
+}
+
+void BrokerEngine::matcher_only_match_batch(std::span<const Publication> pubs,
+                                            std::vector<std::vector<NodeId>>& destinations) {
+  {
+    const ScopedTimer timer(costs_.match);
+    matcher_->match_batch(pubs, m1_batch_);
+  }
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    for (const auto id : m1_batch_[i]) {
+      const Installed* entry = installed_entry(id);
+      if (entry != nullptr) destinations[i].push_back(entry->dest);
+    }
+  }
+}
+
 NodeId BrokerEngine::destination_of(SubscriptionId id) const noexcept {
   const auto it = subs_.find(id);
   return it == subs_.end() ? NodeId::invalid() : it->second.dest;
@@ -167,15 +209,21 @@ SubscriptionPtr BrokerEngine::subscription_of(SubscriptionId id) const noexcept 
 EvalScope& BrokerEngine::publication_scope(const Publication& pub,
                                            const VariableSnapshot* snapshot,
                                            const VariableRegistry& registry, SimTime now) {
+  rebind_publication_scope(scope_, pub, snapshot, registry, now);
+  return scope_;
+}
+
+void BrokerEngine::rebind_publication_scope(EvalScope& scope, const Publication& pub,
+                                            const VariableSnapshot* snapshot,
+                                            const VariableRegistry& registry, SimTime now) {
   if (snapshot != nullptr) {
     // Snapshot consistency (Section V-D): evaluate as if at the entry-point
     // broker at the instant the publication entered the system.
-    scope_.rebind(&registry, pub.entry_time());
-    for (const auto& [var, value] : *snapshot) scope_.bind(var, value);
+    scope.rebind(&registry, pub.entry_time());
+    for (const auto& [var, value] : *snapshot) scope.bind(var, value);
   } else {
-    scope_.rebind(&registry, now);
+    scope.rebind(&registry, now);
   }
-  return scope_;
 }
 
 const BrokerEngine::Installed* BrokerEngine::installed_entry(SubscriptionId id) const noexcept {

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -36,8 +37,10 @@
 #include "common/sim_time.hpp"
 #include "expr/variable_registry.hpp"
 #include "matching/matcher.hpp"
+#include "matching/sharded_matcher.hpp"
 #include "message/messages.hpp"
 #include "message/subscription.hpp"
+#include "metrics/shard_counters.hpp"
 #include "sim/stats.hpp"
 
 namespace evps {
@@ -109,6 +112,12 @@ struct EngineConfig {
   /// refcounted, so delivery sets are unchanged — this only shrinks the
   /// matcher population under duplicate-heavy workloads.
   bool dedup_identical = true;
+  /// Matcher shards (ShardedMatcher): subscriptions are hash-partitioned
+  /// across this many independent matcher instances and match() fans out to
+  /// the shared worker pool. 0 resolves to the EVPS_MATCHER_THREADS
+  /// environment variable (default 1). Results are bit-identical for every
+  /// value; 1 is the exact single-threaded layout.
+  std::size_t matcher_threads = 0;
 };
 
 /// Refcounted install-sharing groups (EngineConfig::dedup_identical). Keys
@@ -177,6 +186,15 @@ class BrokerEngine {
   void match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
              std::vector<NodeId>& destinations);
 
+  /// Batch variant: destinations[i] receives the deduplicated ascending
+  /// destinations of pubs[i], exactly as if match() had been called per
+  /// publication with the same snapshot — engines override the underlying
+  /// hook only to amortise pool dispatches, never to change results.
+  /// `destinations` is grown to pubs.size() if needed (never shrunk, so the
+  /// inner vectors keep their capacity); used entries are cleared first.
+  void match_batch(std::span<const Publication> pubs, const VariableSnapshot* snapshot,
+                   EngineHost& host, std::vector<std::vector<NodeId>>& destinations);
+
   [[nodiscard]] std::size_t size() const noexcept { return subs_.size(); }
   [[nodiscard]] bool contains(SubscriptionId id) const noexcept { return subs_.contains(id); }
   [[nodiscard]] const EngineCosts& costs() const noexcept { return costs_; }
@@ -185,6 +203,14 @@ class BrokerEngine {
 
   /// Physical matcher entries (shared installs counted once).
   [[nodiscard]] std::size_t matcher_population() const noexcept { return matcher_->size(); }
+
+  /// Matcher shards backing this engine (EngineConfig::matcher_threads).
+  [[nodiscard]] std::size_t shard_count() const noexcept { return sharded_->shard_count(); }
+  /// Physical matcher entries per shard (occupancy metric).
+  [[nodiscard]] std::vector<std::size_t> shard_occupancy() const {
+    return sharded_->shard_sizes();
+  }
+  [[nodiscard]] const BatchCounters& batch_counters() const noexcept { return batch_counters_; }
   /// Installs currently elided by identical-subscription sharing.
   [[nodiscard]] virtual std::size_t deduped_installs() const noexcept {
     return static_dedup_.suppressed();
@@ -209,6 +235,19 @@ class BrokerEngine {
   virtual void do_match(const Publication& pub, const VariableSnapshot* snapshot,
                         EngineHost& host, std::vector<NodeId>& destinations) = 0;
 
+  /// Batch hook. The default simply loops do_match — exact by construction.
+  /// Overrides must produce identical destinations (pre-dedup order may
+  /// differ; the caller sorts). `destinations` is already sized and cleared.
+  virtual void do_match_batch(std::span<const Publication> pubs,
+                              const VariableSnapshot* snapshot, EngineHost& host,
+                              std::vector<std::vector<NodeId>>& destinations);
+
+  /// Batch implementation for matcher-only engines (Static/Parametric/VES):
+  /// one sharded matcher dispatch for the whole batch, then per-publication
+  /// id -> destination mapping. The matcher timer records once per batch.
+  void matcher_only_match_batch(std::span<const Publication> pubs,
+                                std::vector<std::vector<NodeId>>& destinations);
+
   /// Rebind the engine-owned evaluation scope for `pub`. In snapshot mode
   /// the scope is anchored at the publication entry time and the snapshot
   /// values shadow the local registry; otherwise it evaluates at `now`.
@@ -218,6 +257,12 @@ class BrokerEngine {
   [[nodiscard]] EvalScope& publication_scope(const Publication& pub,
                                              const VariableSnapshot* snapshot,
                                              const VariableRegistry& registry, SimTime now);
+
+  /// The rebinding behind publication_scope, applicable to any scope (the
+  /// sharded lazy engines keep one EvalScope per shard worker).
+  static void rebind_publication_scope(EvalScope& scope, const Publication& pub,
+                                       const VariableSnapshot* snapshot,
+                                       const VariableRegistry& registry, SimTime now);
 
   [[nodiscard]] const std::unordered_map<SubscriptionId, Installed>& installed() const noexcept {
     return subs_;
@@ -249,13 +294,19 @@ class BrokerEngine {
 
   EngineConfig config_;
   MatcherPtr matcher_;
+  /// matcher_ downcast (the engine always builds a ShardedMatcher; K=1 is
+  /// a zero-overhead passthrough to a single underlying matcher).
+  ShardedMatcher* sharded_ = nullptr;
   EngineCosts costs_;
+  BatchCounters batch_counters_;
 
   // Per-publication scratch shared by the subclasses so that steady-state
   // matching never allocates: the matcher result buffer, the evaluation
   // scope (rebound, not rebuilt, each publication) and the value stack used
   // by compiled expression programs.
   std::vector<SubscriptionId> m1_;
+  /// Batch counterpart of m1_: per-publication hit lists (grow-only).
+  std::vector<std::vector<SubscriptionId>> m1_batch_;
   EvalScope scope_;
   std::vector<double> eval_stack_;
 

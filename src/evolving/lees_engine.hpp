@@ -17,6 +17,18 @@
 // Evolving predicates are compiled at install time (attribute ids + flat
 // expression programs), so the per-publication loop touches no strings and
 // allocates nothing (see lazy_storage.hpp for the scratch discipline).
+//
+// Sharding (DESIGN.md §11): the LEME is partitioned like the matcher — one
+// LazyStorage per matcher shard, parts routed by the same id hash — and the
+// lazy phase fans out one worker per shard. Each worker owns its shard's
+// storage (generation stamps included) plus a private scope/stack/result
+// scratch, so workers share nothing mutable. Purely-static settlement
+// (mark_done) is broadcast to every shard before the fan-out, which keeps
+// the done-destination skip exact for any K; the within-destination early
+// exit is per (shard, destination) — for K=1 that is exactly the paper's
+// behaviour, for K>1 it evaluates at most K-1 extra parts per destination
+// (pure evaluations: delivery is unchanged, only the lazy_evaluations
+// counter can differ between K values).
 #pragma once
 
 #include <vector>
@@ -28,10 +40,14 @@ namespace evps {
 
 class LeesEngine final : public BrokerEngine {
  public:
-  explicit LeesEngine(const EngineConfig& config) : BrokerEngine(config) {}
+  explicit LeesEngine(const EngineConfig& config);
 
   /// Number of subscriptions with at least one evolving predicate.
-  [[nodiscard]] std::size_t leme_size() const noexcept { return leme_.size(); }
+  [[nodiscard]] std::size_t leme_size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& leme : leme_) total += leme.size();
+    return total;
+  }
 
   [[nodiscard]] std::size_t deduped_installs() const noexcept override {
     return BrokerEngine::deduped_installs() + lazy_dedup_.suppressed();
@@ -42,17 +58,44 @@ class LeesEngine final : public BrokerEngine {
   void do_remove(const Installed& entry, EngineHost& host) override;
   void do_match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
                 std::vector<NodeId>& destinations) override;
+  void do_match_batch(std::span<const Publication> pubs, const VariableSnapshot* snapshot,
+                      EngineHost& host, std::vector<std::vector<NodeId>>& destinations) override;
 
  private:
   struct NoExtra {};
   using Leme = LazyStorage<NoExtra>;
 
-  /// True iff all compiled evolving predicates are satisfied by `pub` under
-  /// `scope` (uses the shared eval stack).
-  bool evolving_part_matches(const Leme::Part& part, const Publication& pub,
-                             const EvalScope& scope);
+  /// Per-shard-worker scratch; cacheline-aligned so parallel workers do not
+  /// false-share counters.
+  struct alignas(64) ShardScratch {
+    EvalScope scope;
+    std::vector<double> stack;
+    std::vector<NodeId> dests;
+    std::uint64_t lazy_evaluations = 0;
+  };
 
-  Leme leme_;
+  [[nodiscard]] Leme& leme_for(SubscriptionId id) noexcept {
+    return leme_[sharded_->shard_of(id)];
+  }
+
+  /// True iff all compiled evolving predicates are satisfied by `pub` under
+  /// `scope`.
+  static bool evolving_part_matches(const Leme::Part& part, const Publication& pub,
+                                    const EvalScope& scope, std::vector<double>& stack);
+
+  /// Route the matcher hits: mark static halves in their shard's LEME,
+  /// collect purely-static destinations and broadcast their settlement.
+  /// Every shard's begin_match must have been called for this publication.
+  void process_m1(const std::vector<SubscriptionId>& m1, std::vector<NodeId>& destinations);
+
+  /// The parallel M2 phase: one worker per shard, results merged into
+  /// `destinations` and costs_ afterwards. Caller times it.
+  void lazy_eval_phase(const Publication& pub, const VariableSnapshot* snapshot,
+                       const VariableRegistry& registry, SimTime now,
+                       std::vector<NodeId>& destinations);
+
+  std::vector<Leme> leme_;  // one per matcher shard (same id partition)
+  std::vector<ShardScratch> shard_scratch_;
   /// Install-sharing over FULLY-evolving subscriptions: identical compiled
   /// predicates towards the same destination with the same epoch evaluate
   /// identically on every publication, so one LEME part stands in for the

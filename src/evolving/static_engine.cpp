@@ -27,4 +27,10 @@ void StaticEngine::do_match(const Publication& pub, const VariableSnapshot* /*sn
   }
 }
 
+void StaticEngine::do_match_batch(std::span<const Publication> pubs,
+                                  const VariableSnapshot* /*snapshot*/, EngineHost& /*host*/,
+                                  std::vector<std::vector<NodeId>>& destinations) {
+  matcher_only_match_batch(pubs, destinations);
+}
+
 }  // namespace evps

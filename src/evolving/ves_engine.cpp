@@ -83,6 +83,13 @@ void VesEngine::do_match(const Publication& pub, const VariableSnapshot* /*snaps
   }
 }
 
+void VesEngine::do_match_batch(std::span<const Publication> pubs,
+                               const VariableSnapshot* /*snapshot*/, EngineHost& /*host*/,
+                               std::vector<std::vector<NodeId>>& destinations) {
+  // Snapshots are ignored exactly like do_match (Section V-D).
+  matcher_only_match_batch(pubs, destinations);
+}
+
 void VesEngine::ensure_listener(EngineHost& host) {
   auto& registry = host.variables();
   if (listened_registry_ == &registry) return;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -29,6 +30,21 @@ class Matcher {
 
   /// Append all matching subscription ids to `out` in ascending id order.
   virtual void match(const Publication& pub, std::vector<SubscriptionId>& out) const = 0;
+
+  /// Match a batch of publications: out[i] receives the ascending-id hits of
+  /// pubs[i], exactly as if match(pubs[i], out[i]) had been called in a loop
+  /// (the default does just that). ShardedMatcher overrides this to amortise
+  /// one pool dispatch over the whole batch. `out` is grown to pubs.size()
+  /// if needed (never shrunk, so inner vectors keep their capacity) and each
+  /// used entry is cleared first.
+  virtual void match_batch(std::span<const Publication> pubs,
+                           std::vector<std::vector<SubscriptionId>>& out) const {
+    if (out.size() < pubs.size()) out.resize(pubs.size());
+    for (std::size_t i = 0; i < pubs.size(); ++i) {
+      out[i].clear();
+      match(pubs[i], out[i]);
+    }
+  }
 
   [[nodiscard]] virtual bool contains(SubscriptionId id) const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;

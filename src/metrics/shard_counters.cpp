@@ -1,0 +1,29 @@
+#include "metrics/shard_counters.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace evps {
+
+std::string format_shard_report(const std::vector<std::size_t>& occupancy,
+                                const BatchCounters& batches) {
+  std::ostringstream os;
+  const std::size_t total = std::accumulate(occupancy.begin(), occupancy.end(), std::size_t{0});
+  os << "matcher shards: " << occupancy.size() << " (" << total << " subscriptions)\n";
+  for (std::size_t s = 0; s < occupancy.size(); ++s) {
+    const double share = total == 0 ? 0.0
+                                    : 100.0 * static_cast<double>(occupancy[s]) /
+                                          static_cast<double>(total);
+    os << "  shard " << s << ": " << occupancy[s] << " (" << share << "%)\n";
+  }
+  os << "batches: " << batches.batches << " (" << batches.batched_publications
+     << " publications, mean " << batches.mean_batch() << "/batch, max " << batches.max_batch
+     << ")\n";
+  if (batches.batch_seconds.count() > 0) {
+    os << "batch latency: mean " << batches.batch_seconds.mean() * 1e6 << "us, max "
+       << batches.batch_seconds.max() * 1e6 << "us\n";
+  }
+  return os.str();
+}
+
+}  // namespace evps

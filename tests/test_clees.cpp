@@ -16,7 +16,10 @@ SimTime sec(double s) { return SimTime::from_seconds(s); }
 struct CleesTest : ::testing::Test {
   Simulator sim;
   SimHost host{sim};
-  EngineConfig cfg{.kind = EngineKind::kClees};
+  // matcher_threads pinned: the exact cache-hit/miss counts below assume the
+  // K=1 probe order (sharded early exit can probe — and cache — parts the
+  // sequential order skips; delivery is unchanged, counters are not).
+  EngineConfig cfg{.kind = EngineKind::kClees, .matcher_threads = 1};
   CleesEngine engine{cfg};
 };
 

@@ -16,7 +16,10 @@ SimTime sec(double s) { return SimTime::from_seconds(s); }
 struct LeesTest : ::testing::Test {
   Simulator sim;
   SimHost host{sim};
-  EngineConfig cfg{.kind = EngineKind::kLees};
+  // matcher_threads pinned: the exact lazy_evaluations counts below assume
+  // the K=1 probe order (per-destination early exit is per shard, so an
+  // EVPS_MATCHER_THREADS override would change counters, not results).
+  EngineConfig cfg{.kind = EngineKind::kLees, .matcher_threads = 1};
   LeesEngine engine{cfg};
 };
 

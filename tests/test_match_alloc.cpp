@@ -8,6 +8,7 @@
 // the test also runs cleanly under ASan (no alloc/dealloc mismatch).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -22,17 +23,22 @@
 #include "test_util.hpp"
 
 namespace {
-std::uint64_t g_alloc_count = 0;
+// Atomic (relaxed): sharded dispatches run task bodies on pool workers, and
+// an allocation there must count the same as one on the caller.
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+std::uint64_t alloc_count() { return g_alloc_count.load(std::memory_order_relaxed); }
+void count_alloc() { g_alloc_count.fetch_add(1, std::memory_order_relaxed); }
 }  // namespace
 
 void* operator new(std::size_t size) {
-  ++g_alloc_count;
+  count_alloc();
   if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
   throw std::bad_alloc{};
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
 void* operator new(std::size_t size, std::align_val_t al) {
-  ++g_alloc_count;
+  count_alloc();
   const auto align = static_cast<std::size_t>(al);
   void* p = nullptr;
   if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
@@ -43,7 +49,7 @@ void* operator new(std::size_t size, std::align_val_t al) {
 }
 void* operator new[](std::size_t size, std::align_val_t al) { return ::operator new(size, al); }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_alloc_count;
+  count_alloc();
   return std::malloc(size == 0 ? 1 : size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
@@ -97,7 +103,7 @@ void expect_alloc_free_matching(BrokerEngine& engine, SimHost& host,
       engine.match(pub, snapshot, host, dests);
     }
   }
-  const std::uint64_t before = g_alloc_count;
+  const std::uint64_t before = alloc_count();
   std::size_t total_dests = 0;
   for (int round = 0; round < 50; ++round) {
     for (const auto& pub : pubs) {
@@ -106,7 +112,7 @@ void expect_alloc_free_matching(BrokerEngine& engine, SimHost& host,
       total_dests += dests.size();
     }
   }
-  const std::uint64_t after = g_alloc_count;
+  const std::uint64_t after = alloc_count();
   EXPECT_EQ(after - before, 0u) << "steady-state match allocated";
   EXPECT_GT(total_dests, 0u) << "workload never matched anything";
 }
@@ -169,7 +175,7 @@ TEST_F(MatchAllocation, CleesCacheExpiryRefreshIsAllocFree) {
     engine.match(pub, nullptr, host, dests);
   }
   // Every later pass begins past the TT, forcing re-materialisation.
-  const std::uint64_t before = g_alloc_count;
+  const std::uint64_t before = alloc_count();
   for (int round = 0; round < 20; ++round) {
     sim.run_until(sim.now() + Duration::millis(1));
     for (const auto& pub : pubs) {
@@ -177,7 +183,7 @@ TEST_F(MatchAllocation, CleesCacheExpiryRefreshIsAllocFree) {
       engine.match(pub, nullptr, host, dests);
     }
   }
-  EXPECT_EQ(g_alloc_count - before, 0u);
+  EXPECT_EQ(alloc_count() - before, 0u);
   EXPECT_GT(engine.costs().cache_misses, 60u);
 }
 
@@ -197,6 +203,44 @@ TEST_F(MatchAllocation, StaticSteadyStateIsAllocFree) {
   StaticEngine engine{EngineConfig{.kind = EngineKind::kStatic}};
   populate(engine, host, 120, false);
   expect_alloc_free_matching(engine, host, make_pubs());
+}
+
+/// Batch variant: after warm-up passes have sized every per-shard scratch
+/// (and instantiated the shared worker pool — its one-time thread spawn is
+/// deliberately outside the measured window), steady-state match_batch()
+/// must not allocate on any thread, caller or pool worker.
+void expect_alloc_free_batching(BrokerEngine& engine, SimHost& host,
+                                const std::vector<Publication>& pubs) {
+  std::vector<std::vector<NodeId>> dests;
+  for (int warm = 0; warm < 3; ++warm) {
+    engine.match_batch(pubs, nullptr, host, dests);
+  }
+  const std::uint64_t before = alloc_count();
+  std::size_t total_dests = 0;
+  for (int round = 0; round < 50; ++round) {
+    engine.match_batch(pubs, nullptr, host, dests);
+    for (std::size_t i = 0; i < pubs.size(); ++i) total_dests += dests[i].size();
+  }
+  EXPECT_EQ(alloc_count() - before, 0u) << "steady-state match_batch allocated";
+  EXPECT_GT(total_dests, 0u) << "workload never matched anything";
+}
+
+TEST_F(MatchAllocation, LeesShardedBatchSteadyStateIsAllocFree) {
+  LeesEngine engine{EngineConfig{.kind = EngineKind::kLees, .matcher_threads = 2}};
+  populate(engine, host, 120, true);
+  expect_alloc_free_batching(engine, host, make_pubs());
+}
+
+TEST_F(MatchAllocation, CleesShardedBatchSteadyStateIsAllocFree) {
+  CleesEngine engine{EngineConfig{.kind = EngineKind::kClees, .matcher_threads = 2}};
+  populate(engine, host, 120, true);
+  expect_alloc_free_batching(engine, host, make_pubs());
+}
+
+TEST_F(MatchAllocation, VesShardedBatchSteadyStateIsAllocFree) {
+  VesEngine engine{EngineConfig{.kind = EngineKind::kVes, .matcher_threads = 2}};
+  populate(engine, host, 120, true);
+  expect_alloc_free_batching(engine, host, make_pubs());
 }
 
 }  // namespace

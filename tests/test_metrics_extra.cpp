@@ -1,10 +1,11 @@
-// Delivery latency metric and the broker load-monitor variable
-// (Section III-C overload self-protection).
+// Delivery latency metric, the broker load-monitor variable
+// (Section III-C overload self-protection), and the shard/batch counters.
 #include <gtest/gtest.h>
 
 #include "broker/overlay.hpp"
 #include "message/codec.hpp"
 #include "metrics/latency.hpp"
+#include "metrics/shard_counters.hpp"
 
 namespace evps {
 namespace {
@@ -165,6 +166,59 @@ TEST(LoadMonitorLifetime, DestroyedBrokerCancelsItsMonitor) {
   // ~97 occurrences were still due; they must all be dead now.
   sim.run_all();
   EXPECT_EQ(sim.now(), sec(3));  // only the already-queued (no-op) event remained
+}
+
+TEST(ShardCounters, BatchAccountingAndReport) {
+  BatchCounters counters;
+  EXPECT_EQ(counters.mean_batch(), 0.0);
+  counters.record(4, 10e-6);
+  counters.record(8, 30e-6);
+  EXPECT_EQ(counters.batches, 2u);
+  EXPECT_EQ(counters.batched_publications, 12u);
+  EXPECT_EQ(counters.max_batch, 8u);
+  EXPECT_DOUBLE_EQ(counters.mean_batch(), 6.0);
+  EXPECT_NEAR(counters.batch_seconds.mean(), 20e-6, 1e-12);
+
+  const std::string report = format_shard_report({10, 30}, counters);
+  EXPECT_NE(report.find("matcher shards: 2 (40 subscriptions)"), std::string::npos);
+  EXPECT_NE(report.find("shard 0: 10 (25%)"), std::string::npos);
+  EXPECT_NE(report.find("batches: 2 (12 publications, mean 6/batch, max 8)"), std::string::npos);
+  EXPECT_NE(report.find("batch latency"), std::string::npos);
+
+  counters.reset();
+  EXPECT_EQ(counters.batches, 0u);
+  EXPECT_EQ(counters.batch_seconds.count(), 0u);
+}
+
+TEST(ShardCounters, EngineExposesOccupancyAndBatchCounters) {
+  Simulator sim;
+  Overlay overlay{sim};
+  BrokerConfig cfg;
+  cfg.engine.kind = EngineKind::kLees;
+  cfg.engine.matcher_threads = 4;
+  cfg.batch_size = 4;
+  Broker& broker = overlay.add_broker("b", cfg);
+  auto& sub = overlay.add_client("sub");
+  auto& feed = overlay.add_client("feed");
+  sub.connect(broker, Duration::millis(1));
+  feed.connect(broker, Duration::millis(1));
+  sub.subscribe("x >= 0");
+  sub.subscribe("y >= 0");
+  sim.run_until(sec(0.1));
+  for (int i = 0; i < 6; ++i) feed.publish("x = " + std::to_string(i));
+  sim.run_all();
+
+  const auto occupancy = broker.engine().shard_occupancy();
+  ASSERT_EQ(occupancy.size(), 4u);
+  std::size_t total = 0;
+  for (std::size_t s : occupancy) total += s;
+  EXPECT_EQ(total, 2u);
+  // All six snapshot-free publications went through the batch path.
+  const auto& batches = broker.engine().batch_counters();
+  EXPECT_GT(batches.batches, 0u);
+  EXPECT_EQ(batches.batched_publications, 6u);
+  EXPECT_LE(batches.max_batch, 4u);
+  EXPECT_EQ(sub.deliveries().size(), 6u);
 }
 
 TEST(LoadMonitorLifetime, ReturnedHandleCancelsEarly) {
