@@ -45,6 +45,9 @@ add_test(NAME bench_smoke_routing_covering
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 set_tests_properties(bench_smoke_routing_covering PROPERTIES LABELS bench-smoke)
 evps_gbench(micro_expr)
-# The 100k-subscription fill alone takes ~15s; keep it out of the smoke run.
-evps_gbench(micro_matcher --benchmark_filter=-BM_LargePopulationMatch.*)
+# Population-heavy cases stay out of the smoke run (the 100k point-insert
+# fill alone takes ~15s, and the maintenance sweep goes to 1M): smoke keeps
+# the 10k variants, which still exercise the bulk-build and per-op paths.
+evps_gbench(micro_matcher
+  "--benchmark_filter=-(BM_LargePopulationMatch|BM_MaintenanceSweep<.*>/(100000|1000000)|BM_BulkRebuild/100000)")
 evps_gbench(micro_engines)

@@ -122,6 +122,62 @@ void BM_LargePopulationMatch(benchmark::State& state) {
 BENCHMARK(BM_LargePopulationMatch<CountingMatcher>);
 BENCHMARK(BM_LargePopulationMatch<ChurnMatcher>);
 
+std::vector<MatcherBatchEntry> aoi_batch(std::size_t n, Rng& rng, std::uint64_t first_id = 1) {
+  std::vector<MatcherBatchEntry> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(MatcherBatchEntry{SubscriptionId{first_id + i}, aoi_preds(rng, 100.0)});
+  }
+  return batch;
+}
+
+template <typename M>
+void BM_MaintenanceSweep(benchmark::State& state) {
+  // Per-operation maintenance (remove + add of one subscription) against a
+  // resident population of n — the Figure 9 growth axis. With the paged
+  // bound indexes the per-op cost must grow sublinearly (≈ O(log n)) across
+  // the 10k → 1M sweep; the population itself is installed via add_batch so
+  // even the 1M setup stays a sort + merge, not n point inserts.
+  M matcher;
+  Rng rng{6};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  matcher.add_batch(aoi_batch(n, rng));
+  const SubscriptionId victim{n / 2 + 1};
+  const std::vector<Predicate> version = aoi_preds(rng, 100.0);
+  for (auto _ : state) {
+    matcher.remove(victim);
+    matcher.add(victim, version);
+  }
+  benchmark::DoNotOptimize(matcher.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaintenanceSweep<CountingMatcher>)->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_MaintenanceSweep<ChurnMatcher>)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_BulkRebuild(benchmark::State& state) {
+  // Args: {population, wave}. One VES evolution wave: `wave` subscriptions
+  // are removed and their fresh versions reinstalled through one add_batch —
+  // the bulk re-materialisation path (one sorted merge per touched
+  // (attribute, operator) list instead of `wave` binary-searched inserts).
+  CountingMatcher matcher;
+  Rng rng{7};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto wave = static_cast<std::size_t>(state.range(1));
+  matcher.add_batch(aoi_batch(n, rng));
+  const std::uint64_t first = n / 4 + 1;  // contiguous id block mid-population
+  const std::vector<MatcherBatchEntry> versions = aoi_batch(wave, rng, first);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fresh = versions;  // re-materialised wave (copied outside the timer)
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < wave; ++i) matcher.remove(SubscriptionId{first + i});
+    matcher.add_batch(std::move(fresh));
+  }
+  benchmark::DoNotOptimize(matcher.size());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(wave));
+}
+BENCHMARK(BM_BulkRebuild)->Args({10000, 1000})->Args({100000, 1000})->Args({100000, 10000});
+
 void BM_ShardedMatch(benchmark::State& state) {
   // Args: {subscriptions, shards}. K=1 is the exact unsharded code path, so
   // the K sweep isolates the fork-join + merge overhead against the

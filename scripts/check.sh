@@ -16,7 +16,13 @@ Usage: scripts/check.sh [--quick] [--help]
 
 Full mode runs, in order:
   1. default preset        build + ctest (single-shard matchers, K=1)
-  2. sanitize preset       ASan + UBSan build + ctest
+  2. sanitize preset       ASan + UBSan build + ctest. Runs the full test
+                           set, notably the NaN/IEEE-special matcher suites
+                           (test_matcher_nan, test_bound_index, and the
+                           NaN-extended property/churn suites) whose
+                           historical failure mode — comparator UB and
+                           stale-entry use-after-reuse — is exactly what
+                           these sanitizers catch.
   3. sanitize-thread       TSan build + ctest. The gate's dedicated payload
                            is tests/test_concurrency_stress: many sharded
                            matchers contending for the shared worker pool,
@@ -68,6 +74,13 @@ if [[ "${QUICK}" == "0" ]]; then
   for bench in build/bench/*; do
     [[ -x "${bench}" ]] || continue
     case "${bench##*/}" in
+      micro_matcher)
+        # Skip the population-heavy cases (100k point-insert fill, the
+        # 100k/1M maintenance-sweep and bulk-rebuild fills) — the 10k
+        # variants already cover every code path, including add_batch.
+        "${bench}" --benchmark_min_time=0.01 --benchmark_repetitions=1 \
+            '--benchmark_filter=-(BM_LargePopulationMatch|BM_MaintenanceSweep<.*>/(100000|1000000)|BM_BulkRebuild/100000)' \
+            --benchmark_out=/dev/null >/dev/null ;;
       micro_*)
         # google-benchmark micros. Plain double (seconds): the "0.01s" suffix
         # form needs benchmark >= 1.8. Explicit --benchmark_out so the smoke

@@ -82,6 +82,13 @@ class VesEngine final : public BrokerEngine {
   /// Replace the matcher version with a fresh evaluation and reschedule.
   void evolve(SubscriptionId id, EvolvingState& state, EngineHost& host);
 
+  /// Bulk version swap: re-materialise every id in `due` (unknown ids are
+  /// skipped), remove the old versions, and install the new ones through one
+  /// matcher add_batch — the paged bound indexes then pay one sorted merge
+  /// per touched (attribute, operator) list instead of one binary-searched
+  /// insert per predicate. Timer and variable-change waves both land here.
+  void evolve_batch(const std::vector<SubscriptionId>& due, EngineHost& host);
+
   /// Non-evolving version of the subscription at `now`; if the state asks
   /// for overestimation, range predicates are widened to the extreme the
   /// function reaches anywhere in [now, now + MEI]. Uses the engine's

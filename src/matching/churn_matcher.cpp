@@ -1,8 +1,43 @@
 #include "matching/churn_matcher.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace evps {
+
+namespace {
+
+/// pub_value OP bound over doubles. Plain IEEE comparisons are exactly the
+/// content-based semantics for numeric pairs: when either side is NaN the
+/// values are incomparable, so every operator is false except !=, which is
+/// precisely how IEEE comparisons behave.
+inline bool num_op_matches(RelOp op, double v, double bound) noexcept {
+  switch (op) {
+    case RelOp::kLt: return v < bound;
+    case RelOp::kLe: return v <= bound;
+    case RelOp::kGt: return v > bound;
+    case RelOp::kGe: return v >= bound;
+    case RelOp::kEq: return v == bound;
+    case RelOp::kNe: return v != bound;
+  }
+  return false;
+}
+
+/// pub_string OP operand_string (ordered string comparisons and !=).
+inline bool str_op_matches(RelOp op, const std::string& v, const std::string& operand) noexcept {
+  const int c = v.compare(operand);
+  switch (op) {
+    case RelOp::kLt: return c < 0;
+    case RelOp::kLe: return c <= 0;
+    case RelOp::kGt: return c > 0;
+    case RelOp::kGe: return c >= 0;
+    case RelOp::kEq: return c == 0;
+    case RelOp::kNe: return c != 0;
+  }
+  return false;
+}
+
+}  // namespace
 
 void ChurnMatcher::add(SubscriptionId id, const std::vector<Predicate>& preds) {
   require_static(preds);
@@ -46,22 +81,32 @@ void ChurnMatcher::index_predicate(SubSlot sub, RefSlot slot, const Predicate& p
   Location& loc = state.locations[slot];
   loc.attr = attr;
   const Value& c = p.constant();
-  if (p.op() == RelOp::kEq && !c.is_string()) {
+  // NaN equality keys bypass the hash map: std::equal_to<double> can never
+  // find a NaN key again, so removal would leak the entry and leave a stale
+  // back-reference able to corrupt a recycled slot's location table. The
+  // scan path evaluates `pub == NaN` to false — the exact semantics.
+  if (p.op() == RelOp::kEq && !c.is_string() && !std::isnan(*c.numeric())) {
     loc.kind = Location::Kind::kEqNum;
     loc.num_key = *c.numeric();
     auto& list = bucket.eq_num[loc.num_key];
     loc.index = list.size();
     list.push_back(EqEntry{sub, slot});
-  } else if (p.op() == RelOp::kEq) {
+  } else if (p.op() == RelOp::kEq && c.is_string()) {
     loc.kind = Location::Kind::kEqStr;
     loc.str_key = c.as_string();
     auto& list = bucket.eq_str[loc.str_key];
     loc.index = list.size();
     list.push_back(EqEntry{sub, slot});
+  } else if (!c.is_string()) {
+    loc.kind = Location::Kind::kScanNum;
+    loc.index = bucket.scan_ops.size();
+    bucket.scan_ops.push_back(p.op());
+    bucket.scan_bounds.push_back(*c.numeric());
+    bucket.scan_refs.push_back(EqEntry{sub, slot});
   } else {
-    loc.kind = Location::Kind::kScan;
-    loc.index = bucket.scan.size();
-    bucket.scan.push_back(ScanEntry{p.op(), c, sub, slot});
+    loc.kind = Location::Kind::kScanStr;
+    loc.index = bucket.scan_str.size();
+    bucket.scan_str.push_back(StrScanEntry{p.op(), c.as_string(), sub, slot});
   }
 }
 
@@ -89,35 +134,66 @@ void ChurnMatcher::unindex(const Location& loc) {
   auto& bucket = buckets_[loc.attr];
 
   // Swap-erase `list[loc.index]`, patching the displaced entry's location.
-  const auto swap_erase = [&](auto& list) {
+  const auto swap_erase = [&](auto& list, auto&& location_of) {
     if (loc.index >= list.size()) return;
     if (loc.index + 1 != list.size()) {
       list[loc.index] = std::move(list.back());
       const auto& moved = list[loc.index];
-      slots_[moved.sub].locations[moved.ref].index = loc.index;
+      location_of(moved).index = loc.index;
     }
     list.pop_back();
+  };
+  const auto eq_location = [&](const EqEntry& e) -> Location& {
+    return slots_[e.sub].locations[e.ref];
   };
 
   switch (loc.kind) {
     case Location::Kind::kEqNum: {
       const auto list_it = bucket.eq_num.find(loc.num_key);
       if (list_it == bucket.eq_num.end()) return;
-      swap_erase(list_it->second);
+      swap_erase(list_it->second, eq_location);
       if (list_it->second.empty()) bucket.eq_num.erase(list_it);
       break;
     }
     case Location::Kind::kEqStr: {
       const auto list_it = bucket.eq_str.find(loc.str_key);
       if (list_it == bucket.eq_str.end()) return;
-      swap_erase(list_it->second);
+      swap_erase(list_it->second, eq_location);
       if (list_it->second.empty()) bucket.eq_str.erase(list_it);
       break;
     }
-    case Location::Kind::kScan:
-      swap_erase(bucket.scan);
+    case Location::Kind::kScanNum: {
+      // Swap-erase across the three parallel arrays; one patch-up.
+      const std::size_t i = loc.index;
+      if (i >= bucket.scan_ops.size()) return;
+      const std::size_t last = bucket.scan_ops.size() - 1;
+      if (i != last) {
+        bucket.scan_ops[i] = bucket.scan_ops[last];
+        bucket.scan_bounds[i] = bucket.scan_bounds[last];
+        bucket.scan_refs[i] = bucket.scan_refs[last];
+        eq_location(bucket.scan_refs[i]).index = i;
+      }
+      bucket.scan_ops.pop_back();
+      bucket.scan_bounds.pop_back();
+      bucket.scan_refs.pop_back();
+      break;
+    }
+    case Location::Kind::kScanStr:
+      swap_erase(bucket.scan_str, [&](const StrScanEntry& e) -> Location& {
+        return slots_[e.sub].locations[e.ref];
+      });
       break;
   }
+}
+
+std::size_t ChurnMatcher::indexed_entry_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& bucket : buckets_) {
+    for (const auto& [key, list] : bucket.eq_num) n += list.size();
+    for (const auto& [key, list] : bucket.eq_str) n += list.size();
+    n += bucket.scan_ops.size() + bucket.scan_str.size();
+  }
+  return n;
 }
 
 void ChurnMatcher::match(const Publication& pub, std::vector<SubscriptionId>& out) const {
@@ -149,15 +225,37 @@ void ChurnMatcher::match(const Publication& pub, std::vector<SubscriptionId>& ou
     const auto& bucket = buckets_[ids[a]];
     const Value& value = attrs[a].second;
     if (const auto num = value.numeric()) {
-      if (const auto eq = bucket.eq_num.find(*num); eq != bucket.eq_num.end()) {
+      const double v = *num;
+      if (const auto eq = bucket.eq_num.find(v); eq != bucket.eq_num.end()) {
         for (const auto& entry : eq->second) hit(entry.sub);
       }
-    } else if (const auto eq = bucket.eq_str.find(value.as_string());
-               eq != bucket.eq_str.end()) {
-      for (const auto& entry : eq->second) hit(entry.sub);
-    }
-    for (const auto& entry : bucket.scan) {
-      if (apply_rel_op(entry.op, value, entry.operand)) hit(entry.sub);
+      // SoA sweep over the numeric scan bounds (IEEE == content-based).
+      const RelOp* const ops = bucket.scan_ops.data();
+      const double* const bounds = bucket.scan_bounds.data();
+      const EqEntry* const refs = bucket.scan_refs.data();
+      const std::size_t n = bucket.scan_ops.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (num_op_matches(ops[i], v, bounds[i])) hit(refs[i].sub);
+      }
+      // String operands are incomparable with a numeric value: only kNe.
+      for (const auto& entry : bucket.scan_str) {
+        if (entry.op == RelOp::kNe) hit(entry.sub);
+      }
+    } else {
+      const std::string& s = value.as_string();
+      if (const auto eq = bucket.eq_str.find(s); eq != bucket.eq_str.end()) {
+        for (const auto& entry : eq->second) hit(entry.sub);
+      }
+      // Numeric operands are incomparable with a string value: only kNe.
+      const RelOp* const ops = bucket.scan_ops.data();
+      const EqEntry* const refs = bucket.scan_refs.data();
+      const std::size_t n = bucket.scan_ops.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ops[i] == RelOp::kNe) hit(refs[i].sub);
+      }
+      for (const auto& entry : bucket.scan_str) {
+        if (str_op_matches(entry.op, s, entry.operand)) hit(entry.sub);
+      }
     }
   }
 

@@ -8,19 +8,37 @@
 // maintenance overhead.
 //
 // Design: per attribute (interned AttrId, flat vector of buckets),
-// *unordered* predicate buckets (equality hashed, everything else in a flat
-// scan list). Every indexed entry carries a back-reference into its
-// subscription's location table, so removal is a swap-erase plus one index
-// patch-up for the displaced entry — O(1) per predicate regardless of the
-// resident population. Matching scans the buckets of the publication's
-// attributes and counts satisfied predicates per subscription in an
-// epoch-stamped dense counter array (shared scheme with CountingMatcher) —
-// linear in the per-attribute predicate population, like LEES's scan, but
-// with no sorted-structure maintenance and no per-match allocation.
+// *unordered* predicate buckets. Equality is hashed; everything else lives
+// in flat scan state, split by operand type and laid out SoA:
 //
-// Compare with CountingMatcher: sorted bound lists give cheaper matching
-// but O(n) insert/remove. The micro benchmarks (micro_matcher) and the VES
-// ablation (ablation_matcher) quantify the trade.
+//   * scan_ops / scan_bounds / scan_refs — numeric-operand predicates as
+//     parallel arrays. The per-publication sweep compares a double against
+//     the contiguous bounds array with plain IEEE operators, which implement
+//     the content-based numeric semantics exactly (NaN on either side
+//     satisfies only kNe) — no Value dispatch in the inner loop, and the
+//     band-predicate compare vectorises.
+//   * scan_str — string-operand ordered/!= predicates (rare), AoS.
+//
+// NaN-keyed equality predicates are routed to the numeric scan arrays
+// instead of the eq_num hash map: NaN != NaN under std::equal_to<double>,
+// so a NaN key could be inserted but never found again — removals would
+// leak the entry, and the stale back-reference could later patch a recycled
+// slot's location table. On the scan path `pub == NaN` is uniformly false,
+// which is the exact semantics of an unsatisfiable equality.
+//
+// Every indexed entry carries a back-reference into its subscription's
+// location table, so removal is a swap-erase plus one index patch-up for the
+// displaced entry — O(1) per predicate regardless of the resident
+// population. Matching scans the buckets of the publication's attributes and
+// counts satisfied predicates per subscription in an epoch-stamped dense
+// counter array (shared scheme with CountingMatcher) — linear in the
+// per-attribute predicate population, like LEES's scan, but with no sorted
+// structure maintenance and no per-match allocation.
+//
+// Compare with CountingMatcher: its paged interval indexes give cheaper
+// matching at O(log n) insert/remove; this matcher trades a linear-ish match
+// for strictly O(1) maintenance. The micro benchmarks (micro_matcher) and
+// the VES ablation (ablation_matcher) quantify the trade.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +63,10 @@ class ChurnMatcher final : public Matcher {
 
   [[nodiscard]] std::size_t predicate_count() const noexcept { return predicate_count_; }
 
+  /// Physical entries across every attribute bucket (diagnostics/leak
+  /// tests); must drain to 0 when every subscription is removed.
+  [[nodiscard]] std::size_t indexed_entry_count() const noexcept;
+
  private:
   /// Dense per-matcher subscription slot (index into slots_ / counters).
   using SubSlot = std::uint32_t;
@@ -56,9 +78,9 @@ class ChurnMatcher final : public Matcher {
     SubSlot sub;
     RefSlot ref;
   };
-  struct ScanEntry {
+  struct StrScanEntry {
     RelOp op;
-    Value operand;
+    std::string operand;
     SubSlot sub;
     RefSlot ref;
   };
@@ -66,21 +88,26 @@ class ChurnMatcher final : public Matcher {
   struct AttributeBucket {
     std::unordered_map<double, std::vector<EqEntry>> eq_num;
     std::unordered_map<std::string, std::vector<EqEntry>> eq_str;
-    std::vector<ScanEntry> scan;
+    // Numeric-operand scan predicates, SoA (parallel arrays).
+    std::vector<RelOp> scan_ops;
+    std::vector<double> scan_bounds;
+    std::vector<EqEntry> scan_refs;
+    // String-operand ordered/!= predicates.
+    std::vector<StrScanEntry> scan_str;
 
     [[nodiscard]] bool empty() const noexcept {
-      return eq_num.empty() && eq_str.empty() && scan.empty();
+      return eq_num.empty() && eq_str.empty() && scan_ops.empty() && scan_str.empty();
     }
   };
 
   /// Where one predicate of one subscription currently lives.
   struct Location {
-    enum class Kind : std::uint8_t { kEqNum, kEqStr, kScan };
+    enum class Kind : std::uint8_t { kEqNum, kEqStr, kScanNum, kScanStr };
     AttrId attr = kInvalidAttrId;
-    Kind kind = Kind::kScan;
+    Kind kind = Kind::kScanNum;
     double num_key = 0;
     std::string str_key;
-    std::size_t index = 0;  // position in the eq list / scan list
+    std::size_t index = 0;  // position in the eq list / scan arrays
   };
 
   struct SlotState {

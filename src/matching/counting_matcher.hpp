@@ -8,9 +8,18 @@
 //
 // Index structure per attribute (attributes interned to dense AttrId, so the
 // top level is a flat vector, not a string-keyed map):
-//   * four sorted bound lists for < <= > >= (binary search + contiguous walk)
+//   * four PagedBoundIndex interval indexes for < <= > >= — paged B-tree
+//     leaves (SoA bound/slot arrays) under a flat router, giving O(log n)
+//     insert/remove with contiguous page walks for the range scans, plus a
+//     bulk-merge path (insert_batch) that add_batch() uses for VES's bulk
+//     version re-materialisation
 //   * hash maps for numeric and string equality
-//   * scan lists for != and for ordered string comparisons
+//   * SoA scan arrays for numeric != (IEEE `v != bound` is exactly the
+//     content-based kNe, including NaN on either side) and a string != list
+//   * a scan list for ordered string comparisons and for quarantined
+//     NaN-constant ordered/equality predicates — NaN has no place in a
+//     sorted structure and such predicates can never match, so they are
+//     evaluated (to false) by scan
 //
 // Subscriptions occupy dense slots; hit counting uses an epoch-stamped
 // counter array (a generation stamp marks a slot's counter valid for the
@@ -21,10 +30,11 @@
 // are redundant for conjunctive semantics and would otherwise leave stale
 // index entries behind on remove (the duplicate-predicate leak).
 //
-// Insertion/removal into the sorted lists is O(n) per attribute — this is
-// the "optimized indexing structure" whose maintenance cost the paper's VES
-// analysis depends on (Figures 8 and 9): fast matching, but version
-// replacement cost grows with the matcher population.
+// Maintenance cost is the VES story (paper Figures 8 and 9): every version
+// replacement pays one remove+insert here. The paged indexes keep that cost
+// logarithmic in the matcher population, and add_batch() amortises a whole
+// evolution wave into one sorted merge per touched (attribute, operator)
+// list — the properties that make million-subscription populations viable.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +43,7 @@
 #include <vector>
 
 #include "common/attribute_table.hpp"
+#include "matching/bound_index.hpp"
 #include "matching/matcher.hpp"
 
 namespace evps {
@@ -42,6 +53,7 @@ class CountingMatcher final : public Matcher {
   using Matcher::match;
 
   void add(SubscriptionId id, const std::vector<Predicate>& preds) override;
+  void add_batch(std::vector<MatcherBatchEntry> batch) override;
   bool remove(SubscriptionId id) override;
   void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
   [[nodiscard]] bool contains(SubscriptionId id) const override { return slot_of_.contains(id); }
@@ -51,33 +63,36 @@ class CountingMatcher final : public Matcher {
   /// within a subscription are deduplicated on add and not counted.
   [[nodiscard]] std::size_t predicate_count() const noexcept { return predicate_count_; }
 
+  /// Physical entries across every per-attribute index structure
+  /// (diagnostics/leak tests). Equals the number of live indexed predicates;
+  /// a drained matcher must report 0 — stale entries that survive a remove
+  /// (e.g. the historical NaN-keyed eq_num leak) show up here.
+  [[nodiscard]] std::size_t indexed_entry_count() const noexcept;
+
  private:
   /// Dense per-matcher subscription slot; index into slots_ and the epoch
   /// counter arrays. Slots are recycled through a free list on remove.
   using SubSlot = std::uint32_t;
 
-  struct BoundEntry {
-    double bound;
-    SubSlot slot;
-
-    friend bool operator<(const BoundEntry& a, const BoundEntry& b) noexcept {
-      if (a.bound != b.bound) return a.bound < b.bound;
-      return a.slot < b.slot;
-    }
-  };
-
   struct AttributeIndex {
-    // pub_value OP bound; sorted ascending by bound.
-    std::vector<BoundEntry> lt, le, gt, ge;
+    // pub_value OP bound; paged (bound, slot) interval indexes, NaN-free.
+    PagedBoundIndex lt, le, gt, ge;
     std::unordered_map<double, std::vector<SubSlot>> eq_num;
     std::unordered_map<std::string, std::vector<SubSlot>> eq_str;
-    std::vector<std::pair<Value, SubSlot>> ne;
-    // Ordered string comparisons (rare): evaluated by scan.
+    // Numeric != as SoA parallel arrays: the scan is a vectorisable
+    // `pub != bound` sweep. NaN operands live here too (kNe is the one
+    // operator a NaN constant satisfies — against every value).
+    std::vector<double> ne_bounds;
+    std::vector<SubSlot> ne_slots;
+    // String != (matches every numeric publication value: incomparable).
+    std::vector<std::pair<std::string, SubSlot>> ne_str;
+    // Scan fallback: ordered string comparisons and quarantined NaN-constant
+    // ordered/equality predicates (never satisfiable, evaluated by scan).
     std::vector<std::pair<Predicate, SubSlot>> misc;
 
     [[nodiscard]] bool empty() const noexcept {
       return lt.empty() && le.empty() && gt.empty() && ge.empty() && eq_num.empty() &&
-             eq_str.empty() && ne.empty() && misc.empty();
+             eq_str.empty() && ne_bounds.empty() && ne_str.empty() && misc.empty();
     }
   };
 
@@ -86,11 +101,25 @@ class CountingMatcher final : public Matcher {
     std::vector<Predicate> preds;    // deduplicated
   };
 
-  void index_predicate(SubSlot slot, const Predicate& p);
+  /// Staged bound-list insert (add_batch): one per ordered numeric
+  /// predicate, grouped by (attr, op) then bulk-merged.
+  struct StagedBound {
+    AttrId attr;
+    RelOp op;
+    double bound;
+    SubSlot slot;
+  };
+
+  /// Allocate/recycle a slot and register `id`'s deduplicated predicates.
+  SubSlot claim_slot(SubscriptionId id, const std::vector<Predicate>& preds);
+  /// Index one predicate. With `staged` non-null, ordered numeric bounds are
+  /// appended there for a later bulk merge instead of inserted point-wise.
+  void index_predicate(SubSlot slot, const Predicate& p, std::vector<StagedBound>* staged);
   void unindex_predicate(SubSlot slot, const Predicate& p);
   [[nodiscard]] AttributeIndex* find_index(AttrId attr) noexcept {
     return attr < index_.size() ? &index_[attr] : nullptr;
   }
+  [[nodiscard]] PagedBoundIndex& bound_list(AttributeIndex& idx, RelOp op) noexcept;
 
   /// Per-attribute indexes, keyed by interned AttrId. Grows monotonically
   /// with the attribute universe; empty entries cost one AttributeIndex.

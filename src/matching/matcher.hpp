@@ -17,6 +17,14 @@
 
 namespace evps {
 
+/// One subscription of an add_batch() call. Owned by value so sharded
+/// matchers can redistribute entries across shards without copying the
+/// predicate vectors.
+struct MatcherBatchEntry {
+  SubscriptionId id;
+  std::vector<Predicate> preds;
+};
+
 class Matcher {
  public:
   virtual ~Matcher() = default;
@@ -24,6 +32,16 @@ class Matcher {
   /// Install `preds` (conjunctive) under `id`. `id` must not already be
   /// present; predicates must all be static.
   virtual void add(SubscriptionId id, const std::vector<Predicate>& preds) = 0;
+
+  /// Install a batch of subscriptions, exactly as if add() had been called
+  /// per entry in order (the default does just that; a partial failure
+  /// leaves the earlier entries installed). Implementations override this to
+  /// amortise index maintenance — CountingMatcher turns the batch into one
+  /// sorted bulk merge per touched (attribute, operator) bound list, the
+  /// path VES uses for bulk version re-materialisation.
+  virtual void add_batch(std::vector<MatcherBatchEntry> batch) {
+    for (auto& entry : batch) add(entry.id, entry.preds);
+  }
 
   /// Remove the subscription; returns false if unknown.
   virtual bool remove(SubscriptionId id) = 0;
@@ -71,8 +89,8 @@ using MatcherPtr = std::unique_ptr<Matcher>;
 
 /// Matcher implementations selectable by configuration:
 ///   * kBruteForce — linear-scan oracle (tests, baselines)
-///   * kCounting   — sorted per-attribute operator indexes: fast match,
-///                   O(n) insert/remove (the default)
+///   * kCounting   — paged per-attribute interval indexes: fast match,
+///                   O(log n) insert/remove, bulk add_batch (the default)
 ///   * kChurn      — unordered buckets: O(1) amortised insert/remove for
 ///                   high subscription churn [10], linear-ish match
 enum class MatcherKind { kBruteForce, kCounting, kChurn };

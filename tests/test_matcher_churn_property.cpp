@@ -1,12 +1,16 @@
 // Churn property suite: randomized add/remove/match sequences with heavy
 // subscription-id reuse, duplicate identical predicates, equal bounds shared
-// across subscriptions, and mixed string/numeric attributes. The indexed
-// matchers must agree exactly with the brute-force oracle throughout, and
-// removing every subscription must leave the indexes empty
-// (predicate_count() == 0) — the regression surface for the
-// duplicate-predicate index leak in CountingMatcher::remove and the
-// swap-erase self-displacement leak in ChurnMatcher::remove.
+// across subscriptions, mixed string/numeric attributes, and IEEE specials
+// (NaN, ±inf, −0.0) in both operands and values. The indexed matchers must
+// agree exactly with the brute-force oracle throughout, and removing every
+// subscription must leave the indexes physically empty (predicate_count()
+// and indexed_entry_count() both 0) — the regression surface for the
+// duplicate-predicate index leak in CountingMatcher::remove, the swap-erase
+// self-displacement leak in ChurnMatcher::remove, and the NaN unindexing
+// leaks in both.
 #include <gtest/gtest.h>
+
+#include <limits>
 
 #include "common/rng.hpp"
 #include "matching/brute_force_matcher.hpp"
@@ -22,9 +26,18 @@ const char* kAttributes[] = {"x", "y", "price", "symbol"};
 // share the exact same bound (stressing equal_range removal) and duplicate
 // predicates arise even before we inject them explicitly.
 Value small_value(Rng& rng) {
-  switch (rng.uniform_int(0, 2)) {
+  switch (rng.uniform_int(0, 3)) {
     case 0: return Value{rng.uniform_int(-2, 2)};
     case 1: return Value{static_cast<double>(rng.uniform_int(-2, 2)) / 2.0};
+    case 2:
+      // IEEE specials, in the same tiny-domain spirit: repeated NaN bounds
+      // collide constantly, stressing the quarantine and bit-class removal.
+      switch (rng.uniform_int(0, 3)) {
+        case 0: return Value{std::numeric_limits<double>::quiet_NaN()};
+        case 1: return Value{std::numeric_limits<double>::infinity()};
+        case 2: return Value{-std::numeric_limits<double>::infinity()};
+        default: return Value{-0.0};
+      }
     default: return Value{std::string(1, static_cast<char>('a' + rng.uniform_int(0, 2)))};
   }
 }
@@ -105,6 +118,8 @@ TEST_P(ChurnProperty, IndexedMatchersAgreeWithOracleUnderChurn) {
   EXPECT_EQ(churn.size(), 0u);
   EXPECT_EQ(counting.predicate_count(), 0u);
   EXPECT_EQ(churn.predicate_count(), 0u);
+  EXPECT_EQ(counting.indexed_entry_count(), 0u);
+  EXPECT_EQ(churn.indexed_entry_count(), 0u);
   EXPECT_TRUE(counting.match(random_publication(rng)).empty());
   EXPECT_TRUE(churn.match(random_publication(rng)).empty());
 }

@@ -1,7 +1,11 @@
 // Property suite: the counting matcher must agree exactly with the
 // brute-force oracle on randomized workloads, including interleaved
-// insertions and removals.
+// insertions and removals. Generators emit IEEE specials (NaN, ±inf, −0.0)
+// as both predicate constants and publication values — incomparable pairs
+// must satisfy exactly kNe, everywhere.
 #include <gtest/gtest.h>
+
+#include <limits>
 
 #include "common/rng.hpp"
 #include "matching/brute_force_matcher.hpp"
@@ -13,11 +17,21 @@ namespace {
 
 const char* kAttributes[] = {"x", "y", "price", "volume", "symbol"};
 
+Value special_double(Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: return Value{std::numeric_limits<double>::quiet_NaN()};
+    case 1: return Value{std::numeric_limits<double>::infinity()};
+    case 2: return Value{-std::numeric_limits<double>::infinity()};
+    default: return Value{-0.0};
+  }
+}
+
 Value random_value(Rng& rng, bool allow_string) {
-  const auto kind = rng.uniform_int(0, allow_string ? 2 : 1);
+  const auto kind = rng.uniform_int(0, allow_string ? 3 : 2);
   switch (kind) {
     case 0: return Value{rng.uniform_int(-20, 20)};
     case 1: return Value{rng.uniform(-20.0, 20.0)};
+    case 2: return special_double(rng);
     default: return Value{std::string(1, static_cast<char>('a' + rng.uniform_int(0, 5)))};
   }
 }
