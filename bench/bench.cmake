@@ -44,6 +44,16 @@ add_test(NAME bench_smoke_routing_covering
   COMMAND routing_covering ${CMAKE_BINARY_DIR}/bench/BENCH_routing.json
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 set_tests_properties(bench_smoke_routing_covering PROPERTIES LABELS bench-smoke)
+evps_bench(overlay_batch)
+# Also cheap and self-checking (nonzero exit when batched delivery logs
+# diverge from the per-message baseline, events drift, or the batch=64
+# amortisation drops below 5 events/message). Writes to its own file: both
+# overlay benches read-modify-write a shared results file, which would race
+# under `ctest -j`.
+add_test(NAME bench_smoke_overlay_batch
+  COMMAND overlay_batch ${CMAKE_BINARY_DIR}/bench/BENCH_overlay_batch.json
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+set_tests_properties(bench_smoke_overlay_batch PROPERTIES LABELS bench-smoke)
 evps_gbench(micro_expr)
 # Population-heavy cases stay out of the smoke run (the 100k point-insert
 # fill alone takes ~15s, and the maintenance sweep goes to 1M): smoke keeps

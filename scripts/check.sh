@@ -34,7 +34,11 @@ Full mode runs, in order:
                            EVPS_MATCHER_THREADS=4 exported, so the whole
                            behavioural suite (delivery order, equivalence,
                            soundness) proves bit-identical results at K=4.
-  5. clang-tidy lint, bench smoke
+  5. link-batch re-run     the default-preset ctest again with
+                           EVPS_LINK_BATCH=64 exported: every broker batches
+                           per-link forwards and deliveries (DESIGN.md §14),
+                           and the whole suite must still be bit-identical.
+  6. clang-tidy lint, bench smoke
 EOF
 }
 
@@ -65,6 +69,9 @@ if [[ "${QUICK}" == "0" ]]; then
   echo "=== default preset, EVPS_MATCHER_THREADS=4 ==="
   EVPS_MATCHER_THREADS=4 ctest --preset default
 
+  echo "=== default preset, EVPS_LINK_BATCH=64 ==="
+  EVPS_LINK_BATCH=64 ctest --preset default
+
   echo "=== lint (clang-tidy) ==="
   cmake --build build --target lint -j "${JOBS}"
 
@@ -88,7 +95,7 @@ if [[ "${QUICK}" == "0" ]]; then
         # micros default their output to those files).
         "${bench}" --benchmark_min_time=0.01 --benchmark_repetitions=1 \
             --benchmark_out=/dev/null >/dev/null ;;
-      routing_covering)
+      routing_covering|overlay_batch)
         # argv[1] overrides the output path; keep BENCH_routing.json intact.
         "${bench}" /dev/null >/dev/null ;;
       *)

@@ -7,8 +7,27 @@
 
 namespace evps {
 
+namespace {
+LinkBatcher::Config resolve_link_config(BrokerConfig& config) {
+  // 0 resolves the EVPS_LINK_BATCH environment variable (default 1), stored
+  // back so config() reports the effective value — the matcher_threads
+  // pattern.
+  if (config.link_batch_size == 0) config.link_batch_size = default_link_batch_size();
+  return LinkBatcher::Config{config.link_batch_size, config.link_flush_deadline,
+                             config.measure_link_bytes};
+}
+}  // namespace
+
 Broker::Broker(std::string name, Network& net, BrokerConfig config)
-    : net_(net), name_(std::move(name)), config_(config), engine_(make_engine(config.engine)) {
+    : net_(net),
+      name_(std::move(name)),
+      config_(config),
+      engine_(make_engine(config.engine)),
+      link_batcher_(net, *this, resolve_link_config(config_), [this](NodeId dest) {
+        if (client_neighbors_.contains(dest)) return LinkKind::kClient;
+        if (broker_neighbors_.contains(dest)) return LinkKind::kBroker;
+        return LinkKind::kUnknown;
+      }) {
   if (config_.covering) covering_ = std::make_unique<CoveringIndex>();
   net_.attach(*this);
 }
@@ -29,7 +48,7 @@ void Broker::accept_client(NodeId client) { client_neighbors_.insert(client); }
 void Broker::set_variable(const std::string& name, double value) {
   set_variable_local(name, value);
   for (const auto neighbor : broker_neighbors_) {
-    net_.send(node_id(), neighbor, VarUpdateMsg{name, value});
+    send_to(neighbor, VarUpdateMsg{name, value});
   }
 }
 
@@ -59,6 +78,16 @@ void Broker::on_message(const Envelope& env) {
   std::visit(
       [&](const auto& msg) {
         using T = std::decay_t<decltype(msg)>;
+        if constexpr (!std::is_same_v<T, PublishMsg> && !std::is_same_v<T, PublishBatchMsg>) {
+          // Matching barrier: publications buffered for a batched match
+          // (BrokerConfig::batch_size) arrived before this control message,
+          // so they must match against the pre-control engine and variable
+          // state — exactly what the per-message path would have done. Flush
+          // them before applying anything that can change matching (a
+          // same-instant variable update would otherwise be visible to the
+          // deferred batch).
+          flush_pending_publications();
+        }
         if constexpr (std::is_same_v<T, SubscribeMsg>) {
           handle_subscribe(msg, env.from);
         } else if constexpr (std::is_same_v<T, UnsubscribeMsg>) {
@@ -67,6 +96,8 @@ void Broker::on_message(const Envelope& env) {
           handle_update(msg, env.from);
         } else if constexpr (std::is_same_v<T, PublishMsg>) {
           handle_publish(msg, env.from);
+        } else if constexpr (std::is_same_v<T, PublishBatchMsg>) {
+          handle_publish_batch(msg, env.from);
         } else if constexpr (std::is_same_v<T, AdvertiseMsg>) {
           handle_advertise(msg, env.from);
         } else if constexpr (std::is_same_v<T, UnadvertiseMsg>) {
@@ -134,7 +165,7 @@ void Broker::handle_subscribe(const SubscribeMsg& msg, NodeId from) {
     }
   }
   for (const auto target : targets) {
-    net_.send(node_id(), target, SubscribeMsg{install});
+    send_to(target, SubscribeMsg{install});
   }
   const auto [fwd_it, inserted] = sub_forwards_.emplace(install->id(), std::move(targets));
   (void)inserted;
@@ -150,7 +181,7 @@ void Broker::resubscribe_promoted(const std::vector<SubscriptionId>& promoted) {
     auto& forwards = sub_forwards_[id];
     for (const auto target : subscription_forward_targets(*sub, engine_->destination_of(id))) {
       if (std::find(forwards.begin(), forwards.end(), target) != forwards.end()) continue;
-      net_.send(node_id(), target, SubscribeMsg{sub});
+      send_to(target, SubscribeMsg{sub});
       forwards.push_back(target);
       ++covering_counters_.resubscribes;
     }
@@ -169,7 +200,7 @@ void Broker::retract_demoted(const std::vector<SubscriptionId>& demoted,
         ++fit;  // the coverer does not reach this direction: keep ours
         continue;
       }
-      net_.send(node_id(), *fit, UnsubscribeMsg{id});
+      send_to(*fit, UnsubscribeMsg{id});
       ++covering_counters_.demote_unsubscribes;
       fit = forwards.erase(fit);
     }
@@ -231,7 +262,7 @@ void Broker::handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from) {
   const auto it = sub_forwards_.find(msg.id);
   if (it != sub_forwards_.end()) {
     for (const auto target : it->second) {
-      if (target != from) net_.send(node_id(), target, UnsubscribeMsg{msg.id});
+      if (target != from) send_to(target, UnsubscribeMsg{msg.id});
     }
     sub_forwards_.erase(it);
   }
@@ -261,7 +292,7 @@ void Broker::handle_update(const SubscriptionUpdateMsg& msg, NodeId from) {
   const auto it = sub_forwards_.find(msg.id);
   if (it != sub_forwards_.end()) {
     for (const auto target : it->second) {
-      if (target != from) net_.send(node_id(), target, msg);
+      if (target != from) send_to(target, msg);
     }
   }
   if (!covering_) return;
@@ -296,18 +327,30 @@ void Broker::handle_update(const SubscriptionUpdateMsg& msg, NodeId from) {
       ++covering_counters_.suppressed_forwards;
       continue;
     }
-    net_.send(node_id(), target, SubscribeMsg{sub});
+    send_to(target, SubscribeMsg{sub});
     forwards.push_back(target);
     ++covering_counters_.resubscribes;
   }
+}
+
+void Broker::send_to(NodeId to, Message msg) {
+  // Barrier: publications already buffered towards `to` were (in the
+  // per-message path) sent before this message, so flush them first —
+  // per-link FIFO then preserves the exact relative order.
+  link_batcher_.barrier(to);
+  net_.send(node_id(), to, std::move(msg));
 }
 
 void Broker::handle_publish(PublishMsg msg, NodeId from) {
   ++stats_.publications;
   if (client_neighbors_.contains(from)) {
     // Entry-point broker (Section V-D): stamp the entry time and, in
-    // snapshot-consistency mode, record the current variable values.
-    msg.pub.set_entry_time(now());
+    // snapshot-consistency mode, record the current variable values. The
+    // publication is shared down every forwarding path, so mutate a private
+    // clone (copy-on-write) — the only deep copy an event ever pays.
+    auto stamped = std::make_shared<Publication>(*msg.pub);
+    stamped->set_entry_time(now());
+    msg.pub = std::move(stamped);
     if (config_.snapshot_consistency) {
       auto snapshot = std::make_shared<VariableSnapshot>();
       registry_.for_each_latest(
@@ -316,33 +359,55 @@ void Broker::handle_publish(PublishMsg msg, NodeId from) {
     }
   }
 
-  if (config_.batch_size > 1 && msg.snapshot == nullptr) {
-    pending_pubs_.emplace_back(std::move(msg), from);
-    if (pending_pubs_.size() >= config_.batch_size) {
-      flush_pending_publications();
-    } else if (!flush_scheduled_) {
-      flush_scheduled_ = true;
-      // Zero-delay flush: it runs in the same virtual instant, after every
-      // already-queued same-time event (simulator FIFO), so publications
-      // arriving in one instant share a batch and nothing is delayed.
-      schedule(Duration::zero(), [this, alive = alive_] {
-        if (*alive) flush_pending_publications();
-      });
-    }
+  if (msg.snapshot != nullptr || config_.batch_size <= 1) {
+    // Immediate path: snapshot-carrying publications always match under
+    // their own snapshot; batch_size 1 keeps the per-publication matcher
+    // call (the link batcher may still group the outgoing sends).
+    std::vector<NodeId> destinations;
+    engine_->match(*msg.pub, msg.snapshot.get(), *this, destinations);
+    forward_publication(msg, from, destinations);
     return;
   }
+  enqueue_publication(std::move(msg), from);
+}
 
-  std::vector<NodeId> destinations;
-  engine_->match(msg.pub, msg.snapshot.get(), *this, destinations);
-  forward_publication(msg, from, destinations);
+void Broker::handle_publish_batch(const PublishBatchMsg& msg, NodeId from) {
+  // Batches only travel broker-to-broker, so no entry stamping or snapshot
+  // recording happens here; stats count events, not envelopes, keeping
+  // every counter invariant under batching.
+  stats_.publications += msg.pubs.size();
+  if (config_.batch_size <= 1) {
+    // The arrival is already a batch: match it with one engine call anyway
+    // (exact by the match_batch contract), then route per event.
+    for (const auto& pub : msg.pubs) pending_pubs_.emplace_back(PublishMsg{pub, nullptr}, from);
+    flush_pending_publications();
+    return;
+  }
+  for (const auto& pub : msg.pubs) enqueue_publication(PublishMsg{pub, nullptr}, from);
+}
+
+void Broker::enqueue_publication(PublishMsg msg, NodeId from) {
+  pending_pubs_.emplace_back(std::move(msg), from);
+  if (pending_pubs_.size() >= config_.batch_size) {
+    flush_pending_publications();
+  } else if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    // Zero-delay flush: it runs in the same virtual instant, after every
+    // already-queued same-time event (simulator FIFO), so publications
+    // arriving in one instant share a batch and nothing is delayed.
+    schedule(Duration::zero(), [this, alive = alive_] {
+      if (*alive) flush_pending_publications();
+    });
+  }
 }
 
 void Broker::flush_pending_publications() {
   flush_scheduled_ = false;
   if (pending_pubs_.empty()) return;
-  batch_pubs_.clear();
-  for (const auto& [msg, from] : pending_pubs_) batch_pubs_.push_back(msg.pub);
-  engine_->match_batch(batch_pubs_, nullptr, *this, batch_dests_);
+  batch_ptrs_.clear();
+  for (const auto& [msg, from] : pending_pubs_) batch_ptrs_.push_back(msg.pub.get());
+  engine_->match_batch(std::span<const Publication* const>(batch_ptrs_), nullptr, *this,
+                       batch_dests_);
   for (std::size_t i = 0; i < pending_pubs_.size(); ++i) {
     forward_publication(pending_pubs_[i].first, pending_pubs_[i].second, batch_dests_[i]);
   }
@@ -351,14 +416,28 @@ void Broker::flush_pending_publications() {
 
 void Broker::forward_publication(const PublishMsg& msg, NodeId from,
                                  const std::vector<NodeId>& destinations) {
+  if (msg.snapshot != nullptr) {
+    // Snapshot-carrying publications bypass link batching (each one
+    // evaluates under its own snapshot downstream); send_to's barrier keeps
+    // per-link order intact.
+    for (const auto dest : destinations) {
+      if (dest == from) continue;  // never route back where it came from
+      if (client_neighbors_.contains(dest)) {
+        send_to(dest, DeliveryMsg{msg.pub});
+        ++stats_.deliveries;
+      } else if (broker_neighbors_.contains(dest)) {
+        send_to(dest, msg);
+        ++stats_.pubs_forwarded;
+      }
+    }
+    return;
+  }
   for (const auto dest : destinations) {
     if (dest == from) continue;  // never route back where it came from
-    if (client_neighbors_.contains(dest)) {
-      net_.send(node_id(), dest, DeliveryMsg{msg.pub});
-      ++stats_.deliveries;
-    } else if (broker_neighbors_.contains(dest)) {
-      net_.send(node_id(), dest, msg);
-      ++stats_.pubs_forwarded;
+    switch (link_batcher_.enqueue(dest, msg.pub)) {
+      case LinkKind::kClient: ++stats_.deliveries; break;
+      case LinkKind::kBroker: ++stats_.pubs_forwarded; break;
+      case LinkKind::kUnknown: break;  // not a neighbour: dropped
     }
   }
 }
@@ -370,7 +449,7 @@ void Broker::handle_advertise(const AdvertiseMsg& msg, NodeId from) {
   adverts_.emplace(msg.adv->id(), std::make_pair(msg.adv, from));
   // Advertisements are flooded.
   for (const auto neighbor : broker_neighbors_) {
-    if (neighbor != from) net_.send(node_id(), neighbor, msg);
+    if (neighbor != from) send_to(neighbor, msg);
   }
   if (config_.routing != RoutingMode::kAdvertisement) return;
   // Catch-up: installed subscriptions that intersect the new advertisement
@@ -381,7 +460,7 @@ void Broker::handle_advertise(const AdvertiseMsg& msg, NodeId from) {
     if (engine_->destination_of(sub_id) == from) continue;  // sub came from that direction
     const auto sub = engine_->subscription_of(sub_id);
     if (!sub || !msg.adv->intersects(*sub)) continue;
-    net_.send(node_id(), from, SubscribeMsg{sub});
+    send_to(from, SubscribeMsg{sub});
     forwards.push_back(from);
   }
 }
@@ -389,7 +468,7 @@ void Broker::handle_advertise(const AdvertiseMsg& msg, NodeId from) {
 void Broker::handle_unadvertise(const UnadvertiseMsg& msg, NodeId from) {
   if (adverts_.erase(msg.id) == 0) return;
   for (const auto neighbor : broker_neighbors_) {
-    if (neighbor != from) net_.send(node_id(), neighbor, msg);
+    if (neighbor != from) send_to(neighbor, msg);
   }
 }
 
@@ -397,7 +476,7 @@ void Broker::handle_var_update(const VarUpdateMsg& msg, NodeId from) {
   ++stats_.var_updates;
   registry_.set(msg.name, msg.value, now());
   for (const auto neighbor : broker_neighbors_) {
-    if (neighbor != from) net_.send(node_id(), neighbor, msg);
+    if (neighbor != from) send_to(neighbor, msg);
   }
 }
 

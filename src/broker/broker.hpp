@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/covering_index.hpp"
+#include "broker/link_batcher.hpp"
 #include "common/ids.hpp"
 #include "evolving/engine.hpp"
 #include "expr/variable_registry.hpp"
@@ -64,6 +65,21 @@ struct BrokerConfig {
   /// the immediate per-publication path. Snapshot-carrying publications
   /// always match immediately (each carries its own snapshot).
   std::size_t batch_size = 1;
+  /// Link batching (DESIGN.md §14): buffer up to this many publications per
+  /// outgoing link (neighbour forward or client delivery) and send them as
+  /// one PublishBatchMsg/DeliveryBatchMsg. 0 resolves to the EVPS_LINK_BATCH
+  /// environment variable (default 1, the per-message path). With a zero
+  /// flush deadline, deliveries, timestamps and per-link order are
+  /// bit-identical to the per-message path.
+  std::size_t link_batch_size = 0;
+  /// Maximum virtual time a publication may wait in a link buffer. Zero (the
+  /// default) flushes in the same virtual instant — the equivalence-
+  /// preserving policy. Positive deadlines trade bounded delivery lateness
+  /// for fuller batches.
+  Duration link_flush_deadline = Duration::zero();
+  /// Account codec wire bytes per flushed message in the link counters
+  /// (costs a serialization pass per sent message; benches only).
+  bool measure_link_bytes = false;
 };
 
 struct BrokerStats {
@@ -144,6 +160,10 @@ class Broker final : public NetworkNode, public EngineHost {
   /// The covering forest (null when BrokerConfig::covering is off).
   [[nodiscard]] const CoveringIndex* covering_index() const noexcept { return covering_.get(); }
   void reset_stats() noexcept { stats_.reset(); }
+  /// What this broker's link batcher put on the wire (DESIGN.md §14).
+  [[nodiscard]] const LinkBatchCounters& link_counters() const noexcept {
+    return link_batcher_.counters();
+  }
   [[nodiscard]] const BrokerConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t subscription_count() const noexcept { return engine_->size(); }
 
@@ -152,9 +172,20 @@ class Broker final : public NetworkNode, public EngineHost {
   void handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from);
   void handle_update(const SubscriptionUpdateMsg& msg, NodeId from);
   void handle_publish(PublishMsg msg, NodeId from);
+  void handle_publish_batch(const PublishBatchMsg& msg, NodeId from);
+  /// Flush pending batched publications towards `to`, then send `msg`: every
+  /// non-batchable (control / snapshot-carrying) message goes through this
+  /// barrier so per-link relative order matches the per-message path.
+  void send_to(NodeId to, Message msg);
+  /// Buffer one matched-or-not publication and flush/schedule per
+  /// BrokerConfig::batch_size.
+  void enqueue_publication(PublishMsg msg, NodeId from);
   /// Match + forward everything in pending_pubs_ with one engine batch call.
   void flush_pending_publications();
   /// Forward `msg` to `destinations` (skipping `from`), counting stats.
+  /// Snapshot-free publications route through the link batcher;
+  /// snapshot-carrying ones bypass it (each evaluates under its own
+  /// snapshot) behind the order-preserving barrier.
   void forward_publication(const PublishMsg& msg, NodeId from,
                            const std::vector<NodeId>& destinations);
   void handle_advertise(const AdvertiseMsg& msg, NodeId from);
@@ -202,10 +233,12 @@ class Broker final : public NetworkNode, public EngineHost {
   /// for the contiguous engine batch. The alive flag guards the zero-delay
   /// flush timer against broker teardown.
   std::vector<std::pair<PublishMsg, NodeId>> pending_pubs_;
-  std::vector<Publication> batch_pubs_;
+  std::vector<const Publication*> batch_ptrs_;
   std::vector<std::vector<NodeId>> batch_dests_;
   bool flush_scheduled_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// Per-link outgoing batching (BrokerConfig::link_batch_size).
+  LinkBatcher link_batcher_;
   BrokerStats stats_;
   AnalysisCounters analysis_counters_;
   /// Covering forest over installed subscriptions (BrokerConfig::covering).

@@ -48,7 +48,8 @@ MessageId PubSubClient::publish(Publication pub) {
   const MessageId id = make_publication_id(id_, next_pub_seq_++);
   pub.set_id(id);
   pub.set_publisher(id_);
-  net_.send(node_id(), broker_->node_id(), PublishMsg{std::move(pub), nullptr});
+  net_.send(node_id(), broker_->node_id(),
+            PublishMsg{std::make_shared<const Publication>(std::move(pub)), nullptr});
   return id;
 }
 
@@ -83,9 +84,17 @@ void PubSubClient::send_var_update(const std::string& name, double value) {
 
 void PubSubClient::on_message(const Envelope& env) {
   if (const auto* delivery = std::get_if<DeliveryMsg>(&env.msg)) {
-    deliveries_.push_back(Delivery{net_.simulator().now(), delivery->pub});
-    if (on_delivery) on_delivery(delivery->pub, net_.simulator().now());
+    record_delivery(delivery->pub);
+  } else if (const auto* batch = std::get_if<DeliveryBatchMsg>(&env.msg)) {
+    // Unpacking in order makes a grouped delivery indistinguishable from N
+    // consecutive DeliveryMsg arrivals at the same instant.
+    for (const auto& pub : batch->pubs) record_delivery(pub);
   }
+}
+
+void PubSubClient::record_delivery(const PublicationPtr& pub) {
+  deliveries_.push_back(Delivery{net_.simulator().now(), *pub});
+  if (on_delivery) on_delivery(*pub, net_.simulator().now());
 }
 
 }  // namespace evps

@@ -108,6 +108,8 @@ class PubSubClient final : public NetworkNode {
   void on_message(const Envelope& env) override;
 
  private:
+  void record_delivery(const PublicationPtr& pub);
+
   ClientId id_;
   std::string name_;
   Network& net_;

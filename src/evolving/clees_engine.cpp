@@ -134,7 +134,7 @@ void CleesEngine::do_match(const Publication& pub, const VariableSnapshot* snaps
   lazy_eval_phase(pub, snapshot, host.variables(), host.now(), destinations);
 }
 
-void CleesEngine::do_match_batch(std::span<const Publication> pubs,
+void CleesEngine::do_match_batch(std::span<const Publication* const> pubs,
                                  const VariableSnapshot* snapshot, EngineHost& host,
                                  std::vector<std::vector<NodeId>>& destinations) {
   // Matcher phase amortised over the whole batch (one pool dispatch); lazy
@@ -150,7 +150,7 @@ void CleesEngine::do_match_batch(std::span<const Publication> pubs,
     for (auto& storage : storage_) storage.begin_match();
     process_m1(m1_batch_[i], destinations[i]);
     const ScopedTimer timer(costs_.lazy_eval);
-    lazy_eval_phase(pubs[i], snapshot, registry, now, destinations[i]);
+    lazy_eval_phase(*pubs[i], snapshot, registry, now, destinations[i]);
   }
 }
 

@@ -160,6 +160,15 @@ void BrokerEngine::match(const Publication& pub, const VariableSnapshot* snapsho
 void BrokerEngine::match_batch(std::span<const Publication> pubs,
                                const VariableSnapshot* snapshot, EngineHost& host,
                                std::vector<std::vector<NodeId>>& destinations) {
+  ptr_scratch_.clear();
+  ptr_scratch_.reserve(pubs.size());
+  for (const auto& pub : pubs) ptr_scratch_.push_back(&pub);
+  match_batch(std::span<const Publication* const>(ptr_scratch_), snapshot, host, destinations);
+}
+
+void BrokerEngine::match_batch(std::span<const Publication* const> pubs,
+                               const VariableSnapshot* snapshot, EngineHost& host,
+                               std::vector<std::vector<NodeId>>& destinations) {
   if (pubs.empty()) return;
   const auto start = std::chrono::steady_clock::now();
   if (destinations.size() < pubs.size()) destinations.resize(pubs.size());
@@ -174,15 +183,15 @@ void BrokerEngine::match_batch(std::span<const Publication> pubs,
   batch_counters_.record(pubs.size(), std::chrono::duration<double>(end - start).count());
 }
 
-void BrokerEngine::do_match_batch(std::span<const Publication> pubs,
+void BrokerEngine::do_match_batch(std::span<const Publication* const> pubs,
                                   const VariableSnapshot* snapshot, EngineHost& host,
                                   std::vector<std::vector<NodeId>>& destinations) {
   for (std::size_t i = 0; i < pubs.size(); ++i) {
-    do_match(pubs[i], snapshot, host, destinations[i]);
+    do_match(*pubs[i], snapshot, host, destinations[i]);
   }
 }
 
-void BrokerEngine::matcher_only_match_batch(std::span<const Publication> pubs,
+void BrokerEngine::matcher_only_match_batch(std::span<const Publication* const> pubs,
                                             std::vector<std::vector<NodeId>>& destinations) {
   {
     const ScopedTimer timer(costs_.match);

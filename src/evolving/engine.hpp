@@ -187,11 +187,18 @@ class BrokerEngine {
              std::vector<NodeId>& destinations);
 
   /// Batch variant: destinations[i] receives the deduplicated ascending
-  /// destinations of pubs[i], exactly as if match() had been called per
+  /// destinations of *pubs[i], exactly as if match() had been called per
   /// publication with the same snapshot — engines override the underlying
-  /// hook only to amortise pool dispatches, never to change results.
-  /// `destinations` is grown to pubs.size() if needed (never shrunk, so the
-  /// inner vectors keep their capacity); used entries are cleared first.
+  /// hook only to amortise pool dispatches, never to change results. The
+  /// batch is a span of pointers so the broker can hand over shared
+  /// (refcounted) publications without staging copies. `destinations` is
+  /// grown to pubs.size() if needed (never shrunk, so the inner vectors keep
+  /// their capacity); used entries are cleared first.
+  void match_batch(std::span<const Publication* const> pubs, const VariableSnapshot* snapshot,
+                   EngineHost& host, std::vector<std::vector<NodeId>>& destinations);
+
+  /// Convenience overload for contiguous publications (tests, benches):
+  /// builds a pointer span over grow-only scratch and delegates.
   void match_batch(std::span<const Publication> pubs, const VariableSnapshot* snapshot,
                    EngineHost& host, std::vector<std::vector<NodeId>>& destinations);
 
@@ -238,14 +245,14 @@ class BrokerEngine {
   /// Batch hook. The default simply loops do_match — exact by construction.
   /// Overrides must produce identical destinations (pre-dedup order may
   /// differ; the caller sorts). `destinations` is already sized and cleared.
-  virtual void do_match_batch(std::span<const Publication> pubs,
+  virtual void do_match_batch(std::span<const Publication* const> pubs,
                               const VariableSnapshot* snapshot, EngineHost& host,
                               std::vector<std::vector<NodeId>>& destinations);
 
   /// Batch implementation for matcher-only engines (Static/Parametric/VES):
   /// one sharded matcher dispatch for the whole batch, then per-publication
   /// id -> destination mapping. The matcher timer records once per batch.
-  void matcher_only_match_batch(std::span<const Publication> pubs,
+  void matcher_only_match_batch(std::span<const Publication* const> pubs,
                                 std::vector<std::vector<NodeId>>& destinations);
 
   /// Rebind the engine-owned evaluation scope for `pub`. In snapshot mode
@@ -307,6 +314,8 @@ class BrokerEngine {
   std::vector<SubscriptionId> m1_;
   /// Batch counterpart of m1_: per-publication hit lists (grow-only).
   std::vector<std::vector<SubscriptionId>> m1_batch_;
+  /// Pointer staging for the contiguous match_batch overload (grow-only).
+  std::vector<const Publication*> ptr_scratch_;
   EvalScope scope_;
   std::vector<double> eval_stack_;
 

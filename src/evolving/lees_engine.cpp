@@ -179,7 +179,7 @@ void LeesEngine::do_match(const Publication& pub, const VariableSnapshot* snapsh
   lazy_eval_phase(pub, snapshot, host.variables(), host.now(), destinations);
 }
 
-void LeesEngine::do_match_batch(std::span<const Publication> pubs,
+void LeesEngine::do_match_batch(std::span<const Publication* const> pubs,
                                 const VariableSnapshot* snapshot, EngineHost& host,
                                 std::vector<std::vector<NodeId>>& destinations) {
   // One pool dispatch covers the matcher phase of the whole batch; the lazy
@@ -196,7 +196,7 @@ void LeesEngine::do_match_batch(std::span<const Publication> pubs,
     for (auto& leme : leme_) leme.begin_match();
     process_m1(m1_batch_[i], destinations[i]);
     const ScopedTimer timer(costs_.lazy_eval);
-    lazy_eval_phase(pubs[i], snapshot, registry, now, destinations[i]);
+    lazy_eval_phase(*pubs[i], snapshot, registry, now, destinations[i]);
   }
 }
 

@@ -27,7 +27,7 @@ void StaticEngine::do_match(const Publication& pub, const VariableSnapshot* /*sn
   }
 }
 
-void StaticEngine::do_match_batch(std::span<const Publication> pubs,
+void StaticEngine::do_match_batch(std::span<const Publication* const> pubs,
                                   const VariableSnapshot* /*snapshot*/, EngineHost& /*host*/,
                                   std::vector<std::vector<NodeId>>& destinations) {
   matcher_only_match_batch(pubs, destinations);

@@ -83,7 +83,7 @@ void VesEngine::do_match(const Publication& pub, const VariableSnapshot* /*snaps
   }
 }
 
-void VesEngine::do_match_batch(std::span<const Publication> pubs,
+void VesEngine::do_match_batch(std::span<const Publication* const> pubs,
                                const VariableSnapshot* /*snapshot*/, EngineHost& /*host*/,
                                std::vector<std::vector<NodeId>>& destinations) {
   // Snapshots are ignored exactly like do_match (Section V-D).

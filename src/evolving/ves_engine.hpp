@@ -49,7 +49,7 @@ class VesEngine final : public BrokerEngine {
   void do_remove(const Installed& entry, EngineHost& host) override;
   void do_match(const Publication& pub, const VariableSnapshot* snapshot, EngineHost& host,
                 std::vector<NodeId>& destinations) override;
-  void do_match_batch(std::span<const Publication> pubs, const VariableSnapshot* snapshot,
+  void do_match_batch(std::span<const Publication* const> pubs, const VariableSnapshot* snapshot,
                       EngineHost& host, std::vector<std::vector<NodeId>>& destinations) override;
 
  private:

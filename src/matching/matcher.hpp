@@ -50,18 +50,30 @@ class Matcher {
   virtual void match(const Publication& pub, std::vector<SubscriptionId>& out) const = 0;
 
   /// Match a batch of publications: out[i] receives the ascending-id hits of
-  /// pubs[i], exactly as if match(pubs[i], out[i]) had been called in a loop
-  /// (the default does just that). ShardedMatcher overrides this to amortise
-  /// one pool dispatch over the whole batch. `out` is grown to pubs.size()
-  /// if needed (never shrunk, so inner vectors keep their capacity) and each
-  /// used entry is cleared first.
-  virtual void match_batch(std::span<const Publication> pubs,
+  /// *pubs[i], exactly as if match(*pubs[i], out[i]) had been called in a
+  /// loop (the default does just that). ShardedMatcher overrides this to
+  /// amortise one pool dispatch over the whole batch. The batch is a span of
+  /// pointers so brokers can assemble it from shared (refcounted)
+  /// publications without copying events into a contiguous staging vector.
+  /// `out` is grown to pubs.size() if needed (never shrunk, so inner vectors
+  /// keep their capacity) and each used entry is cleared first.
+  virtual void match_batch(std::span<const Publication* const> pubs,
                            std::vector<std::vector<SubscriptionId>>& out) const {
     if (out.size() < pubs.size()) out.resize(pubs.size());
     for (std::size_t i = 0; i < pubs.size(); ++i) {
       out[i].clear();
-      match(pubs[i], out[i]);
+      match(*pubs[i], out[i]);
     }
+  }
+
+  /// Convenience overload for contiguous publications (tests, benches):
+  /// builds the pointer span and delegates to the virtual batch entry point.
+  void match_batch(std::span<const Publication> pubs,
+                   std::vector<std::vector<SubscriptionId>>& out) const {
+    std::vector<const Publication*> ptrs;
+    ptrs.reserve(pubs.size());
+    for (const auto& pub : pubs) ptrs.push_back(&pub);
+    match_batch(std::span<const Publication* const>(ptrs), out);
   }
 
   [[nodiscard]] virtual bool contains(SubscriptionId id) const = 0;

@@ -101,7 +101,7 @@ void ShardedMatcher::match(const Publication& pub, std::vector<SubscriptionId>& 
   std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
 }
 
-void ShardedMatcher::match_batch(std::span<const Publication> pubs,
+void ShardedMatcher::match_batch(std::span<const Publication* const> pubs,
                                  std::vector<std::vector<SubscriptionId>>& out) const {
   if (out.size() < pubs.size()) out.resize(pubs.size());
   if (shards_.size() == 1) {
@@ -116,7 +116,7 @@ void ShardedMatcher::match_batch(std::span<const Publication> pubs,
     const Matcher& shard = *shards_[s];
     for (std::size_t i = 0; i < pubs.size(); ++i) {
       hits[i].clear();
-      shard.match(pubs[i], hits[i]);
+      shard.match(*pubs[i], hits[i]);
     }
   };
   ThreadPool::shared().run_indexed(shards_.size(), task);

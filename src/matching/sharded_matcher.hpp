@@ -46,8 +46,9 @@ class ShardedMatcher final : public Matcher {
   void add_batch(std::vector<MatcherBatchEntry> batch) override;
   bool remove(SubscriptionId id) override;
   void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
-  void match_batch(std::span<const Publication> pubs,
+  void match_batch(std::span<const Publication* const> pubs,
                    std::vector<std::vector<SubscriptionId>>& out) const override;
+  using Matcher::match_batch;  // keep the contiguous-span convenience visible
   [[nodiscard]] bool contains(SubscriptionId id) const override;
   [[nodiscard]] std::size_t size() const override;
 

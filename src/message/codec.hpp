@@ -11,8 +11,10 @@
 // expression (see expr/parser.hpp).
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "message/predicate.hpp"
 #include "message/publication.hpp"
@@ -50,5 +52,41 @@ class CodecError : public std::runtime_error {
 /// Serialises options (only non-default ones) followed by predicates.
 [[nodiscard]] std::string serialize(const Subscription& sub);
 [[nodiscard]] Subscription parse_subscription(std::string_view text);
+
+// --- publication batches (PublishBatchMsg/DeliveryBatchMsg wire format) ----
+//
+// A batch serialises into ONE caller-owned arena buffer:
+//
+//   pubs n=<count>\n
+//   <8-hex payload len> id=<u64> pub=<u64> t=<i64>\n
+//   <payload: serialize(pub), exactly len bytes>\n
+//   ... (count records)
+//
+// The length prefix is patched in place after the payload is written, so
+// serialisation is a single pass appending into the arena — re-using the
+// arena across batches makes steady-state serialisation allocation-free.
+// Parsing validates the frame end to end (count, per-record length, id
+// uniqueness, trailing bytes) and throws an offset-carrying CodecError
+// before returning anything — a malformed batch is never partially applied.
+
+/// Hard ceilings the parser enforces; oversized frames are rejected up front
+/// so a corrupt header cannot drive allocation or scan amplification.
+inline constexpr std::size_t kMaxBatchPublications = 1u << 16;
+inline constexpr std::size_t kMaxBatchRecordBytes = 1u << 24;
+
+/// Append the batch frame for `pubs` to `arena` (cleared first).
+void serialize_batch(std::span<const Publication* const> pubs, std::string& arena);
+void serialize_batch(std::span<const PublicationPtr> pubs, std::string& arena);
+/// Convenience for contiguous publications (tests / ad-hoc callers).
+[[nodiscard]] std::string serialize_batch(std::span<const Publication> pubs);
+
+/// Exact byte size serialize_batch would produce for `pubs` (traffic
+/// accounting without materialising the frame).
+[[nodiscard]] std::size_t serialized_batch_size(std::span<const PublicationPtr> pubs);
+
+/// Decode a batch frame. Id, publisher and entry time round-trip. Throws
+/// CodecError (with the byte offset of the offending field) on any
+/// truncated, oversized, duplicated-id or otherwise malformed frame.
+[[nodiscard]] std::vector<Publication> parse_publication_batch(std::string_view text);
 
 }  // namespace evps

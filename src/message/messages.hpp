@@ -52,9 +52,18 @@ struct SubscriptionUpdateMsg {
 };
 
 struct PublishMsg {
-  Publication pub;
+  PublicationPtr pub;
   /// Present only in snapshot-consistency mode.
   VariableSnapshotPtr snapshot;
+};
+
+/// A batch of publications forwarded over one broker-broker link as a single
+/// message (DESIGN.md §14). Carries no snapshot: snapshot-carrying
+/// publications bypass link batching (each one evaluates under its own
+/// snapshot). Elements are shared with every other link's batch for the same
+/// events, so K-way fan-out costs K refcounts, not K deep copies.
+struct PublishBatchMsg {
+  std::vector<PublicationPtr> pubs;
 };
 
 struct AdvertiseMsg {
@@ -74,11 +83,20 @@ struct VarUpdateMsg {
 
 /// Final-hop delivery from a broker to a matched subscriber client.
 struct DeliveryMsg {
-  Publication pub;
+  PublicationPtr pub;
+};
+
+/// Grouped final-hop delivery: N matched events to one client in one
+/// message. The client unpacks in order, so per-client delivery order and
+/// timestamps are exactly those of N consecutive DeliveryMsg sends flushed
+/// in the same virtual instant.
+struct DeliveryBatchMsg {
+  std::vector<PublicationPtr> pubs;
 };
 
 using Message = std::variant<SubscribeMsg, UnsubscribeMsg, SubscriptionUpdateMsg, PublishMsg,
-                             AdvertiseMsg, UnadvertiseMsg, VarUpdateMsg, DeliveryMsg>;
+                             PublishBatchMsg, AdvertiseMsg, UnadvertiseMsg, VarUpdateMsg,
+                             DeliveryMsg, DeliveryBatchMsg>;
 
 /// A message in flight between two nodes.
 struct Envelope {
@@ -102,12 +120,24 @@ struct Envelope {
     const char* operator()(const UnsubscribeMsg&) const { return "unsubscribe"; }
     const char* operator()(const SubscriptionUpdateMsg&) const { return "sub_update"; }
     const char* operator()(const PublishMsg&) const { return "publish"; }
+    const char* operator()(const PublishBatchMsg&) const { return "publish_batch"; }
     const char* operator()(const AdvertiseMsg&) const { return "advertise"; }
     const char* operator()(const UnadvertiseMsg&) const { return "unadvertise"; }
     const char* operator()(const VarUpdateMsg&) const { return "var_update"; }
     const char* operator()(const DeliveryMsg&) const { return "delivery"; }
+    const char* operator()(const DeliveryBatchMsg&) const { return "delivery_batch"; }
   };
   return std::visit(Visitor{}, m);
+}
+
+/// Publication events carried by a message (0 for control traffic): 1 for a
+/// scalar publish/delivery, the batch size for batch messages. Metrics taps
+/// use this so event counts stay invariant under link batching.
+[[nodiscard]] inline std::size_t publications_carried(const Message& m) noexcept {
+  if (std::holds_alternative<PublishMsg>(m) || std::holds_alternative<DeliveryMsg>(m)) return 1;
+  if (const auto* b = std::get_if<PublishBatchMsg>(&m)) return b->pubs.size();
+  if (const auto* b = std::get_if<DeliveryBatchMsg>(&m)) return b->pubs.size();
+  return 0;
 }
 
 }  // namespace evps

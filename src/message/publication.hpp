@@ -2,6 +2,7 @@
 #pragma once
 
 #include <initializer_list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -75,5 +76,10 @@ class Publication {
   ClientId publisher_{};
   SimTime entry_time_{};
 };
+
+/// Publications in flight are immutable and shared: forwarding one event to
+/// K neighbours copies a refcount, never the attribute vectors. A broker
+/// that must mutate (entry-time stamping) clones first (copy-on-write).
+using PublicationPtr = std::shared_ptr<const Publication>;
 
 }  // namespace evps

@@ -1,8 +1,11 @@
 #include "metrics/report.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <utility>
 
 namespace evps {
 
@@ -44,6 +47,113 @@ std::string Table::pct(double fraction, int precision) {
 
 void print_banner(std::string_view title, std::ostream& os) {
   os << "\n=== " << title << " ===\n";
+}
+
+namespace {
+
+/// Split a sectioned results file (`{"key": value, ...}`) into its top-level
+/// key/value pairs with a brace-depth scan (string-literal aware, so braces
+/// and quotes inside values don't confuse it). Returns false when the text is
+/// not in that shape — the caller then starts a fresh file.
+bool split_sections(const std::string& text, std::vector<std::pair<std::string, std::string>>& out) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && (std::isspace(static_cast<unsigned char>(text[i])) != 0)) ++i;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') return false;
+    const std::size_t key_start = ++i;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') ++i;  // escaped char inside the key
+      ++i;
+    }
+    if (i >= text.size()) return false;
+    std::string key = text.substr(key_start, i - key_start);
+    ++i;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    skip_ws();
+    // Capture the value verbatim: scan to the comma/brace that closes it at
+    // depth zero, tracking nesting and string literals.
+    const std::size_t value_start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // the object's closing brace
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    if (i >= text.size()) return false;
+    std::string value = text.substr(value_start, i - value_start);
+    while (!value.empty() && (std::isspace(static_cast<unsigned char>(value.back())) != 0)) {
+      value.pop_back();
+    }
+    out.emplace_back(std::move(key), std::move(value));
+    if (text[i] == '}') return true;
+    ++i;  // consume the comma
+  }
+}
+
+}  // namespace
+
+bool write_json_section(const std::string& path, const std::string& key, const std::string& body) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::vector<std::pair<std::string, std::string>> parsed;
+      // A pre-sectioned file (its first key is a bench payload field like
+      // "bench" rather than a section name) is replaced wholesale.
+      if (split_sections(buf.str(), parsed) &&
+          (parsed.empty() || parsed.front().first != "bench")) {
+        sections = std::move(parsed);
+      }
+    }
+  }
+  bool replaced = false;
+  for (auto& [name, value] : sections) {
+    if (name == key) {
+      value = body;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) sections.emplace_back(key, body);
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    out << "\"" << sections[s].first << "\": " << sections[s].second;
+    out << (s + 1 < sections.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace evps

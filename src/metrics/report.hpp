@@ -29,4 +29,12 @@ class Table {
 /// Print a section banner for an experiment.
 void print_banner(std::string_view title, std::ostream& os = std::cout);
 
+/// Read-modify-write one top-level section of a shared JSON results file:
+/// `{"routing_covering": {...}, "overlay_batch": {...}}`. `body` must be a
+/// complete JSON value; existing sections under other keys are preserved
+/// verbatim (files not in this sectioned shape are replaced wholesale, so
+/// legacy single-object outputs upgrade on first write). Returns false when
+/// the file cannot be written.
+bool write_json_section(const std::string& path, const std::string& key, const std::string& body);
+
 }  // namespace evps

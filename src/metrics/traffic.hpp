@@ -7,12 +7,21 @@
 // any broker in the system").
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "broker/overlay.hpp"
+#include "metrics/link_counters.hpp"
 #include "sim/simulator.hpp"
 
 namespace evps {
+
+/// Sum of every broker's LinkBatchCounters — the overlay-wide batching view
+/// (messages vs. events carried, flush causes, fill histogram, bytes).
+[[nodiscard]] LinkBatchCounters aggregate_link_counters(const Overlay& overlay);
+
+/// Human-readable batching report for the aggregate.
+[[nodiscard]] std::string format_link_report(const LinkBatchCounters& counters);
 
 class TrafficProbe {
  public:

@@ -74,6 +74,21 @@ class Histogram {
   [[nodiscard]] const std::vector<double>& boundaries() const noexcept { return boundaries_; }
   [[nodiscard]] const Summary& summary() const noexcept { return summary_; }
 
+  /// Merge another histogram recorded over the same boundaries (aggregating
+  /// per-link / per-shard histograms into a fleet view).
+  void merge(const Histogram& other) {
+    if (boundaries_ != other.boundaries_) {
+      throw std::invalid_argument("cannot merge histograms with different boundaries");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    summary_.merge(other.summary_);
+  }
+
+  void reset() noexcept {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    summary_.reset();
+  }
+
   /// Approximate quantile (bucket upper bound containing the q-th sample).
   [[nodiscard]] double quantile(double q) const noexcept;
 

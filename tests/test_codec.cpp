@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
 namespace evps {
 namespace {
 
@@ -118,6 +123,66 @@ TEST(SubscriptionCodec, RoundTrip) {
     EXPECT_EQ(sub.tt(), reparsed.tt());
     EXPECT_EQ(sub.validity(), reparsed.validity());
   }
+}
+
+Publication stamped_pub(std::string_view text, std::uint64_t id, std::uint64_t publisher,
+                        std::int64_t entry_us) {
+  Publication pub = parse_publication(text);
+  pub.set_id(MessageId{id});
+  pub.set_publisher(ClientId{publisher});
+  pub.set_entry_time(SimTime::from_micros(entry_us));
+  return pub;
+}
+
+TEST(BatchCodec, RoundTripRestoresMetadata) {
+  const std::vector<Publication> pubs = {
+      stamped_pub("x = 4; y = 3.5; action = 'pickup'", 101, 7, 1234),
+      stamped_pub("note = 'a;b\nnewline'; x = 1", 102, 8, 0),
+      stamped_pub("price = 15.27; symbol = 'IBM'", 103, 7, -42),
+      stamped_pub("", 104, 9, 99),  // empty payload is a valid publication
+  };
+  const std::string wire = serialize_batch(std::span<const Publication>(pubs));
+  const std::vector<Publication> back = parse_publication_batch(wire);
+  ASSERT_EQ(back.size(), pubs.size());
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    EXPECT_EQ(back[i], pubs[i]) << i;
+    EXPECT_EQ(back[i].id(), pubs[i].id()) << i;
+    EXPECT_EQ(back[i].publisher(), pubs[i].publisher()) << i;
+    EXPECT_EQ(back[i].entry_time(), pubs[i].entry_time()) << i;
+  }
+}
+
+TEST(BatchCodec, EmptyBatch) {
+  const std::string wire = serialize_batch(std::span<const Publication>{});
+  EXPECT_TRUE(parse_publication_batch(wire).empty());
+}
+
+TEST(BatchCodec, ArenaOverloadMatchesValueOverload) {
+  const std::vector<Publication> pubs = {
+      stamped_pub("x = 1", 1, 1, 10),
+      stamped_pub("x = 2", 2, 1, 10),
+  };
+  std::vector<PublicationPtr> ptrs;
+  for (const auto& p : pubs) ptrs.push_back(std::make_shared<const Publication>(p));
+  std::string arena = "stale contents from a previous flush";
+  serialize_batch(std::span<const PublicationPtr>(ptrs), arena);
+  EXPECT_EQ(arena, serialize_batch(std::span<const Publication>(pubs)));
+  EXPECT_EQ(serialized_batch_size(std::span<const PublicationPtr>(ptrs)), arena.size());
+}
+
+TEST(BatchCodec, UnsetIdsMayRepeat) {
+  // Ad-hoc publications are serialised before any id is assigned; frames may
+  // carry several of them even though VALID duplicate ids are rejected.
+  const std::vector<Publication> pubs = {parse_publication("x = 1"), parse_publication("x = 2")};
+  const std::vector<Publication> back =
+      parse_publication_batch(serialize_batch(std::span<const Publication>(pubs)));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_FALSE(back[0].id().valid());
+}
+
+TEST(BatchCodec, OversizedBatchRejectedAtSerialize) {
+  const std::vector<Publication> pubs(kMaxBatchPublications + 1);
+  EXPECT_THROW((void)serialize_batch(std::span<const Publication>(pubs)), CodecError);
 }
 
 }  // namespace

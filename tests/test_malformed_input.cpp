@@ -6,6 +6,7 @@
 // presets (ASan+UBSan / TSan) to give "cleanly" teeth.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "common/rng.hpp"
 #include "expr/parser.hpp"
 #include "expr/program.hpp"
+#include "message/codec.hpp"
 
 namespace evps {
 namespace {
@@ -73,6 +75,147 @@ TEST(MalformedInput, ParserCompilerVerifierRejectCleanly) {
   // The stream generators must exercise both outcomes heavily.
   EXPECT_GT(parsed, 200u);
   EXPECT_GT(rejected, 500u);
+}
+
+/// A well-formed batch frame to mutate: three stamped publications with
+/// string, negative and multi-attribute payloads.
+std::string valid_batch_frame() {
+  std::vector<Publication> pubs;
+  const char* payloads[] = {"x = 4; y = 3.5; action = 'pickup'", "note = 'a;b'; x = -1",
+                            "price = 15.27; symbol = 'IBM'; volume = 100"};
+  for (std::size_t i = 0; i < std::size(payloads); ++i) {
+    Publication pub = parse_publication(payloads[i]);
+    pub.set_id(MessageId{100 + i});
+    pub.set_publisher(ClientId{7});
+    pub.set_entry_time(SimTime::from_micros(static_cast<std::int64_t>(1000 * i)));
+    pubs.push_back(std::move(pub));
+  }
+  return serialize_batch(std::span<const Publication>(pubs));
+}
+
+TEST(MalformedInput, BatchTruncationsRejectWithOffsets) {
+  // Every proper prefix of a valid frame must be rejected via CodecError
+  // whose offset lands inside the prefix — never crash, never return a
+  // partial batch.
+  const std::string frame = valid_batch_frame();
+  ASSERT_EQ(parse_publication_batch(frame).size(), 3u);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    try {
+      (void)parse_publication_batch(frame.substr(0, cut));
+      FAIL() << "prefix of length " << cut << " parsed";
+    } catch (const CodecError& e) {
+      EXPECT_TRUE(e.has_location()) << "cut " << cut;
+      EXPECT_LE(e.offset(), cut) << "cut " << cut;
+    }
+  }
+}
+
+TEST(MalformedInput, BatchMutationsNeverCrashNeverPartiallyApply) {
+  // Seeded single-byte mutations and splices over a valid frame: the parser
+  // must either fully succeed or throw an offset-carrying CodecError.
+  // (parse_publication_batch returns by value, so a throw IS "not applied" —
+  // this drives the property through every validation path under the
+  // sanitizer presets.)
+  const std::string frame = valid_batch_frame();
+  const auto idx = [](Rng& rng, std::size_t lo, std::size_t hi) {
+    return static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+  };
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 2000; ++seed) {
+    Rng rng{seed};
+    std::string text = frame;
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip one byte to a random printable (or NUL) character
+        text[idx(rng, 0, text.size() - 1)] = static_cast<char>(rng.uniform_int(0, 126));
+        break;
+      case 1:  // duplicate a random slice in place (duplicate-id shapes)
+      {
+        const std::size_t a = idx(rng, 0, text.size() - 1);
+        const std::size_t b = idx(rng, a, text.size() - 1);
+        text.insert(idx(rng, 0, text.size()), text.substr(a, b - a + 1));
+        break;
+      }
+      case 2:  // delete a random slice (truncation mid-frame)
+      {
+        const std::size_t a = idx(rng, 0, text.size() - 1);
+        const std::size_t b = idx(rng, a, text.size() - 1);
+        text.erase(a, b - a + 1);
+        break;
+      }
+      default:  // corrupt the declared count
+        text = "pubs n=" + std::to_string(rng.uniform_int(0, 1 << 20)) +
+               text.substr(text.find('\n'));
+        break;
+    }
+    try {
+      (void)parse_publication_batch(text);
+      ++accepted;
+    } catch (const CodecError& e) {
+      ++rejected;
+      EXPECT_TRUE(e.has_location()) << "seed " << seed;
+      EXPECT_LE(e.offset(), text.size()) << "seed " << seed;
+      if (!e.token().empty()) {
+        EXPECT_EQ(text.compare(e.offset(), e.token().size(), e.token()), 0)
+            << "seed " << seed << " offset " << e.offset() << " token '" << e.token() << "'";
+      }
+    }
+  }
+  // The mutator must exercise both outcomes: most mutations break framing,
+  // but byte flips inside payloads stay parseable.
+  EXPECT_GT(rejected, 1000u);
+  EXPECT_GT(accepted, 20u);
+}
+
+TEST(MalformedInput, BatchStructuredCorruptions) {
+  const std::string frame = valid_batch_frame();
+  // Count larger than records present: truncated record header.
+  {
+    std::string text = frame;
+    text.replace(text.find("n=3"), 3, "n=9");
+    EXPECT_THROW((void)parse_publication_batch(text), CodecError);
+  }
+  // Count exceeding the hard limit.
+  EXPECT_THROW((void)parse_publication_batch("pubs n=999999999\n"), CodecError);
+  // Oversized per-record length prefix (>= kMaxBatchRecordBytes).
+  {
+    std::string text = frame;
+    const std::size_t rec = text.find('\n') + 1;
+    text.replace(rec, 8, "ffffffff");
+    try {
+      (void)parse_publication_batch(text);
+      FAIL() << "oversized record length accepted";
+    } catch (const CodecError& e) {
+      EXPECT_EQ(e.offset(), rec);
+    }
+  }
+  // Duplicate valid id: copy record 1's id into record 2.
+  {
+    std::string text = frame;
+    const std::size_t second = text.find("id=101");
+    ASSERT_NE(second, std::string::npos);
+    text.replace(second, 6, "id=100");
+    EXPECT_THROW((void)parse_publication_batch(text), CodecError);
+  }
+  // Trailing bytes after the declared records.
+  EXPECT_THROW((void)parse_publication_batch(frame + "extra"), CodecError);
+  // Payload parse error inside a record carries a frame-relative offset.
+  {
+    std::string text = frame;
+    const std::size_t bad = text.find("x = 4");
+    text.replace(bad, 5, "xxxxx");  // same length, attribute without '='
+    try {
+      (void)parse_publication_batch(text);
+      FAIL() << "malformed payload accepted";
+    } catch (const CodecError& e) {
+      // The payload parser reports no offset of its own, so the rebased
+      // location is the start of the record's payload line.
+      EXPECT_TRUE(e.has_location());
+      EXPECT_GE(e.offset(), text.rfind('\n', bad) + 1);
+      EXPECT_LT(e.offset(), text.size());
+    }
+  }
 }
 
 TEST(MalformedInput, ThrowingParserAgreesWithTryVariant) {
