@@ -1,0 +1,141 @@
+// Shared entry point for the fuzz harnesses (EVPS_FUZZ preset).
+//
+// Each harness defines the standard libFuzzer hook
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// Under Clang the harness is linked against libFuzzer (-fsanitize=fuzzer,
+// EVPS_LIBFUZZER defined) and this header contributes nothing. Under other
+// toolchains (the CI image ships gcc only) this header provides a fallback
+// main(): it replays every corpus input verbatim, then keeps exercising the
+// hook with deterministic xorshift mutations of the corpus — flips, splices,
+// truncations, insertions — honouring the same `-runs=N` and
+// `-max_total_time=S` flags libFuzzer uses, so scripts/check.sh invokes both
+// drivers identically. Coverage guidance is lost, crash detection and the
+// time-boxed smoke stage are not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+#if !defined(EVPS_LIBFUZZER)
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace evps_fuzz {
+
+/// xorshift64* — deterministic across platforms, seeded per run index so a
+/// failure reproduces with the same corpus and `-runs=` value.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  std::size_t below(std::size_t n) { return n == 0 ? 0 : static_cast<std::size_t>(next() % n); }
+
+ private:
+  std::uint64_t state_;
+};
+
+inline void mutate(std::string& input, Rng& rng) {
+  const std::size_t edits = 1 + rng.below(4);
+  for (std::size_t e = 0; e < edits; ++e) {
+    switch (rng.below(5)) {
+      case 0:  // flip a byte
+        if (!input.empty()) input[rng.below(input.size())] ^= static_cast<char>(1 << rng.below(8));
+        break;
+      case 1:  // truncate
+        if (!input.empty()) input.resize(rng.below(input.size()));
+        break;
+      case 2:  // insert a random byte
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(rng.below(input.size() + 1)),
+                     static_cast<char>(rng.next() & 0xff));
+        break;
+      case 3: {  // duplicate a chunk
+        if (input.empty()) break;
+        const std::size_t start = rng.below(input.size());
+        const std::size_t len = 1 + rng.below(input.size() - start);
+        input.insert(rng.below(input.size() + 1), input.substr(start, len));
+        break;
+      }
+      case 4:  // overwrite with an interesting value
+        if (!input.empty()) {
+          static constexpr char kInteresting[] = {'\0', '\n', ' ', '=', ';', '9', '-', '\xff'};
+          input[rng.below(input.size())] = kInteresting[rng.below(sizeof(kInteresting))];
+        }
+        break;
+    }
+    if (input.size() > (1u << 20)) input.resize(1u << 20);  // keep the smoke stage fast
+  }
+}
+
+inline void collect_corpus(const std::filesystem::path& path, std::vector<std::string>& corpus) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) collect_corpus(entry.path(), corpus);
+    }
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "fuzz: cannot open corpus input " << path << "\n";
+    std::exit(2);
+  }
+  corpus.emplace_back(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>{});
+}
+
+inline int run(int argc, char** argv) {
+  long long runs = 1000;
+  long long max_seconds = 0;  // 0 = no time limit
+  std::vector<std::string> corpus;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::stoll(arg.substr(6));
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_seconds = std::stoll(arg.substr(16));
+    } else if (!arg.empty() && arg.front() == '-') {
+      // Ignore other libFuzzer flags so invocations stay interchangeable.
+    } else {
+      collect_corpus(arg, corpus);
+    }
+  }
+  if (corpus.empty()) corpus.emplace_back();  // always at least the empty input
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(max_seconds);
+  long long executed = 0;
+  for (const std::string& seed : corpus) {
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(seed.data()), seed.size());
+    ++executed;
+  }
+  for (long long i = 0; executed < runs; ++i, ++executed) {
+    if (max_seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    Rng rng(0x853c49e6748fea9bULL + static_cast<std::uint64_t>(i));
+    std::string input = corpus[rng.below(corpus.size())];
+    mutate(input, rng);
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+  }
+  std::cout << "fuzz: executed " << executed << " input(s) over " << corpus.size()
+            << " corpus seed(s)\n";
+  return 0;
+}
+
+}  // namespace evps_fuzz
+
+int main(int argc, char** argv) { return evps_fuzz::run(argc, argv); }
+
+#endif  // !EVPS_LIBFUZZER

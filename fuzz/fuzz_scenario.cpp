@@ -1,0 +1,32 @@
+// Fuzz harness for the scenario front end (analysis/scenario.hpp) shared by
+// evps-lint and evps-audit.
+//
+// Properties under test:
+//   * parse_scenario never throws — malformed lines must surface as kError
+//     directives, not exceptions (the subscription codec throws CodecError
+//     internally; anything escaping is a front-end bug);
+//   * the directive list is bounded by the line count (no directive
+//     amplification);
+//   * every error directive carries a caret location inside its own body.
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+#include "analysis/scenario.hpp"
+#include "fuzz_driver.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const evps::Scenario scenario = evps::parse_scenario(text);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')) + 1;
+  if (scenario.directives.size() > lines) std::abort();
+  for (const evps::ScenarioDirective& d : scenario.directives) {
+    if (d.line_no <= 0) std::abort();
+    if (d.kind == evps::ScenarioDirective::Kind::kError &&
+        d.body_col + d.error_offset > d.line.size()) {
+      std::abort();
+    }
+  }
+  return 0;
+}

@@ -38,7 +38,11 @@ Full mode runs, in order:
                            EVPS_LINK_BATCH=64 exported: every broker batches
                            per-link forwards and deliveries (DESIGN.md §14),
                            and the whole suite must still be bit-identical.
-  6. clang-tidy lint, bench smoke
+  6. fuzz smoke            time-boxed run of the fuzz preset harnesses
+                           (batch codec + scenario parser) over the checked-
+                           in corpus: libFuzzer under Clang, the fallback
+                           mutation driver under gcc.
+  7. clang-tidy lint, bench smoke
 EOF
 }
 
@@ -71,6 +75,15 @@ if [[ "${QUICK}" == "0" ]]; then
 
   echo "=== default preset, EVPS_LINK_BATCH=64 ==="
   EVPS_LINK_BATCH=64 ctest --preset default
+
+  echo "=== fuzz smoke ==="
+  # Time-boxed: each harness replays the corpus then mutates for at most
+  # 10s / 5000 runs, whichever comes first. Any crash or round-trip
+  # violation aborts the harness and fails the script.
+  cmake --preset fuzz
+  cmake --build --preset fuzz -j "${JOBS}" --target fuzz_batch_codec fuzz_scenario
+  ./build-fuzz/fuzz/fuzz_batch_codec -runs=5000 -max_total_time=10 fuzz/corpus/batch
+  ./build-fuzz/fuzz/fuzz_scenario -runs=5000 -max_total_time=10 fuzz/corpus/scenario
 
   echo "=== lint (clang-tidy) ==="
   cmake --build build --target lint -j "${JOBS}"

@@ -73,6 +73,14 @@ class CoveringIndex {
   /// Direct children of a root (empty for children / unknown ids).
   [[nodiscard]] std::vector<SubscriptionId> children_of(SubscriptionId id) const;
 
+  /// Visit every entry as (id, parent); parent is invalid() for roots.
+  /// Snapshot export support (analysis/audit) — children are recoverable
+  /// via children_of, so (id, parent) pairs are the whole forest.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [id, e] : entries_) fn(id, e.parent);
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t root_count() const noexcept { return root_count_; }
   [[nodiscard]] const CoverStats& stats() const noexcept { return stats_; }

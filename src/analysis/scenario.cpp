@@ -1,0 +1,120 @@
+#include "analysis/scenario.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "message/codec.hpp"
+
+namespace evps {
+
+namespace {
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && (std::isspace(static_cast<unsigned char>(s.front())) != 0)) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (std::isspace(static_cast<unsigned char>(s.back())) != 0)) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+ScenarioDirective error_directive(ScenarioDirective d, std::size_t offset, std::string token,
+                                  std::string message) {
+  d.kind = ScenarioDirective::Kind::kError;
+  d.error_offset = offset;
+  d.error_token = std::move(token);
+  d.error_message = std::move(message);
+  return d;
+}
+
+/// `var <name> [= <value>] in [<lo>, <hi>]`
+ScenarioDirective parse_var(ScenarioDirective d) {
+  std::istringstream in{d.body};
+  std::string name;
+  std::string tok;
+  double value = 0;
+  bool has_value = false;
+  double lo = 0;
+  double hi = 0;
+  in >> name >> tok;
+  if (tok == "=") {
+    in >> value >> tok;
+    has_value = true;
+  }
+  char lbracket = 0;
+  char comma = 0;
+  char rbracket = 0;
+  in >> lbracket >> lo >> comma >> hi >> rbracket;
+  if (name.empty() || tok != "in" || lbracket != '[' || comma != ',' || rbracket != ']' ||
+      in.fail()) {
+    return error_directive(std::move(d), 0, "",
+                           "bad var directive (expected: var <name> [= <value>] in [<lo>, <hi>])");
+  }
+  d.kind = ScenarioDirective::Kind::kVar;
+  d.var_name = std::move(name);
+  d.var_has_value = has_value;
+  d.var_value = value;
+  d.var_lo = lo;
+  d.var_hi = hi;
+  return d;
+}
+
+ScenarioDirective parse_predicates(ScenarioDirective d, ScenarioDirective::Kind kind) {
+  try {
+    d.sub = parse_subscription(d.body);
+    d.kind = kind;
+    return d;
+  } catch (const CodecError& e) {
+    return error_directive(std::move(d), e.has_location() ? e.offset() : 0,
+                           e.has_location() ? e.token() : "", e.what());
+  }
+}
+
+}  // namespace
+
+Scenario parse_scenario(std::string_view text) {
+  Scenario scenario;
+  int line_no = 0;
+  bool done = text.empty();
+  while (!done) {
+    const std::size_t nl = text.find('\n');
+    std::string_view raw;
+    if (nl == std::string_view::npos) {
+      raw = text;
+      text = {};
+      done = true;
+    } else {
+      raw = text.substr(0, nl);
+      text = text.substr(nl + 1);
+      done = text.empty();
+    }
+    ++line_no;
+    const std::string_view rest = trim_view(raw);
+    if (rest.empty() || rest.front() == '#') continue;
+    const auto space = rest.find_first_of(" \t");
+    const std::string_view directive = rest.substr(0, space);
+    const std::string_view body =
+        space == std::string_view::npos ? std::string_view{} : trim_view(rest.substr(space));
+
+    ScenarioDirective d;
+    d.line_no = line_no;
+    d.line = std::string(raw);
+    d.body = std::string(body);
+    d.body_col = body.empty() ? raw.size() : static_cast<std::size_t>(body.data() - raw.data());
+    if (directive == "var") {
+      scenario.directives.push_back(parse_var(std::move(d)));
+    } else if (directive == "adv") {
+      scenario.directives.push_back(parse_predicates(std::move(d), ScenarioDirective::Kind::kAdv));
+    } else if (directive == "sub") {
+      scenario.directives.push_back(parse_predicates(std::move(d), ScenarioDirective::Kind::kSub));
+    } else {
+      scenario.directives.push_back(error_directive(
+          std::move(d), 0, "",
+          "unknown directive '" + std::string(directive) + "' (expected var, adv or sub)"));
+    }
+  }
+  return scenario;
+}
+
+}  // namespace evps

@@ -1,0 +1,64 @@
+// Scenario-file front end shared by evps-lint, evps-audit and the fuzz
+// harnesses.
+//
+// A scenario is a line-oriented description of variables, advertisements
+// and subscriptions ('#' starts a comment):
+//
+//   var <name> in [<lo>, <hi>]               declare an evolution-variable range
+//   var <name> = <value> in [<lo>, <hi>]     ... and set its current value
+//   adv <pred> [; <pred>]...                 an advertisement (codec predicates)
+//   sub <subscription>                       a subscription (codec text language)
+//
+// parse_scenario is purely syntactic: it tokenises every line into a
+// ScenarioDirective and never touches a VariableRegistry or analyzer, so
+// callers keep full control over *semantic* order-sensitivity (evps-lint
+// analyzes each sub against only the vars/ads that appeared above it) and
+// the parser is safe to fuzz in isolation. Lines that fail to parse become
+// kError directives carrying the codec's caret location instead of
+// aborting the whole file.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "message/subscription.hpp"
+
+namespace evps {
+
+struct ScenarioDirective {
+  enum class Kind : std::uint8_t { kVar, kAdv, kSub, kError };
+
+  Kind kind = Kind::kError;
+  int line_no = 0;        ///< 1-based source line
+  std::string line;       ///< full source text (caret diagnostics)
+  std::size_t body_col = 0;  ///< column where the directive body starts
+  std::string body;       ///< directive body as written
+
+  // kVar
+  std::string var_name;
+  bool var_has_value = false;
+  double var_value = 0.0;
+  double var_lo = 0.0;
+  double var_hi = 0.0;
+
+  // kAdv / kSub — the parsed predicate list lives in `sub` for both (the
+  // advertisement grammar reuses the subscription predicate grammar).
+  Subscription sub;
+
+  // kError — offset is relative to `body` (column body_col + error_offset).
+  std::size_t error_offset = 0;
+  std::string error_token;
+  std::string error_message;
+};
+
+struct Scenario {
+  std::vector<ScenarioDirective> directives;
+};
+
+/// Parse scenario text. Never throws; malformed lines surface as kError
+/// directives in source order, interleaved with the well-formed ones.
+[[nodiscard]] Scenario parse_scenario(std::string_view text);
+
+}  // namespace evps

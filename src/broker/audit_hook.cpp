@@ -1,0 +1,19 @@
+#include "broker/audit_hook.hpp"
+
+namespace evps::audit {
+
+OverlaySnapshot snapshot_overlay(const Overlay& overlay) {
+  OverlaySnapshot snap;
+  snap.brokers.reserve(overlay.brokers().size());
+  for (const auto& broker : overlay.brokers()) {
+    snap.brokers.push_back(broker->export_snapshot());
+  }
+  snap.normalize();
+  return snap;
+}
+
+AuditReport audit_overlay(const Overlay& overlay, AuditOptions options) {
+  return OverlayAuditor(options).audit(snapshot_overlay(overlay));
+}
+
+}  // namespace evps::audit

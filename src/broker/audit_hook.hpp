@@ -1,0 +1,60 @@
+// Overlay-level snapshot/audit glue (DESIGN.md §15).
+//
+// snapshot_overlay() exports every broker of an Overlay into a normalized
+// OverlaySnapshot; audit_overlay() runs the OverlayAuditor over it. The
+// SimAuditHook is the opt-in for existing simulation suites: construct one
+// over an Overlay and call check() at every quiesce point (typically after
+// run_until / run_all settles) — it throws AuditFailure carrying the full
+// report when any invariant is violated, so a scenario that corrupts
+// routing state fails loudly at the point of corruption instead of as a
+// missing delivery three asserts later.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "analysis/audit/auditor.hpp"
+#include "broker/overlay.hpp"
+
+namespace evps::audit {
+
+/// Export every broker of `overlay` and normalize the result.
+[[nodiscard]] OverlaySnapshot snapshot_overlay(const Overlay& overlay);
+
+/// Snapshot + audit in one step.
+[[nodiscard]] AuditReport audit_overlay(const Overlay& overlay, AuditOptions options = {});
+
+/// Thrown by SimAuditHook::check on a non-clean report.
+class AuditFailure : public std::runtime_error {
+ public:
+  explicit AuditFailure(AuditReport report)
+      : std::runtime_error("overlay audit failed:\n" + report.format()),
+        report_(std::move(report)) {}
+
+  [[nodiscard]] const AuditReport& report() const noexcept { return report_; }
+
+ private:
+  AuditReport report_;
+};
+
+/// End-state auditing for simulation test suites: every check() verifies the
+/// whole overlay and throws AuditFailure on the first violation.
+class SimAuditHook {
+ public:
+  explicit SimAuditHook(const Overlay& overlay, AuditOptions options = {})
+      : overlay_(overlay), options_(options) {}
+
+  /// Audit the overlay's current state; throws AuditFailure if not clean.
+  /// Returns the (clean) report so callers can assert on its counters.
+  AuditReport check() const {
+    AuditReport report = audit_overlay(overlay_, options_);
+    if (!report.clean()) throw AuditFailure(std::move(report));
+    return report;
+  }
+
+ private:
+  const Overlay& overlay_;
+  AuditOptions options_;
+};
+
+}  // namespace evps::audit

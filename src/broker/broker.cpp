@@ -480,4 +480,49 @@ void Broker::handle_var_update(const VarUpdateMsg& msg, NodeId from) {
   }
 }
 
+audit::BrokerState Broker::export_snapshot() const {
+  audit::BrokerState out;
+  out.name = name_;
+  out.node = node_id();
+  out.routing = config_.routing == RoutingMode::kAdvertisement ? "advertisement" : "flooding";
+  out.covering_enabled = config_.covering;
+  out.broker_neighbors.assign(broker_neighbors_.begin(), broker_neighbors_.end());
+  out.client_neighbors.assign(client_neighbors_.begin(), client_neighbors_.end());
+  for (const auto& [id, forwards] : sub_forwards_) {
+    out.routes.push_back(audit::RouteEntry{id, forwards});
+  }
+  for (const auto& [id, entry] : adverts_) {
+    out.adverts.push_back(audit::AdvertEntry{id, entry.first, entry.second});
+  }
+  if (covering_) {
+    covering_->for_each_entry([this, &out](SubscriptionId id, SubscriptionId parent) {
+      out.forest.push_back(audit::ForestNode{id, parent, covering_->children_of(id)});
+    });
+  }
+  engine_->export_audit_state(out.engine);
+  out.pending_match_batch = pending_pubs_.size();
+  link_batcher_.for_each_pending([&out](NodeId dest, std::size_t pending) {
+    out.pending_links.push_back(audit::PendingLink{dest, pending});
+  });
+  // Variable state: every id with a declared range or a recorded value.
+  std::set<VarId> vars;
+  for (const VarId v : registry_.ids()) vars.insert(v);
+  for (const VarId v : registry_.declared_ids()) vars.insert(v);
+  for (const VarId v : vars) {
+    audit::VariableState vs;
+    vs.name = VariableTable::instance().name(v);
+    if (const auto range = registry_.declared_range(v)) {
+      vs.declared = true;
+      vs.lo = range->first;
+      vs.hi = range->second;
+    }
+    if (const auto value = registry_.get(v)) {
+      vs.has_value = true;
+      vs.value = *value;
+    }
+    out.variables.push_back(std::move(vs));
+  }
+  return out;
+}
+
 }  // namespace evps

@@ -167,6 +167,13 @@ class Broker final : public NetworkNode, public EngineHost {
   [[nodiscard]] const BrokerConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t subscription_count() const noexcept { return engine_->size(); }
 
+  /// Export this broker's complete routing-relevant state for offline
+  /// verification (analysis/audit): routing table, advertisement table,
+  /// covering forest, engine physical footprint, pending batch buffers and
+  /// evolution-variable state. Purely observational — never perturbs the
+  /// broker. The result is NOT normalized; see OverlaySnapshot::normalize.
+  [[nodiscard]] audit::BrokerState export_snapshot() const;
+
  private:
   void handle_subscribe(const SubscribeMsg& msg, NodeId from);
   void handle_unsubscribe(const UnsubscribeMsg& msg, NodeId from);

@@ -9,6 +9,9 @@ namespace evps {
 
 std::size_t default_link_batch_size() {
   static const std::size_t cached = [] {
+    // Read once before any worker thread exists; nothing in-process calls
+    // setenv, so the lone getenv is benign.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("EVPS_LINK_BATCH");
     if (env == nullptr || *env == '\0') return std::size_t{1};
     char* end = nullptr;

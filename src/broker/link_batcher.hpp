@@ -85,6 +85,16 @@ class LinkBatcher {
   void reset_counters() { counters_.reset(); }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+  /// Visit every slot with buffered publications as (dest, pending count).
+  /// Snapshot export support (analysis/audit): at a quiesce point no slot
+  /// may have pending publications.
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (!slot->pending.empty()) fn(slot->dest, slot->pending.size());
+    }
+  }
+
  private:
   enum class FlushCause : std::uint8_t { kSize, kDeadline, kBarrier };
 

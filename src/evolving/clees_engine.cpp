@@ -154,4 +154,15 @@ void CleesEngine::do_match_batch(std::span<const Publication* const> pubs,
   }
 }
 
+void CleesEngine::export_audit_state(audit::EngineState& out) const {
+  BrokerEngine::export_audit_state(out);
+  for (const Storage& storage : storage_) {
+    for (const auto& [dest, group] : storage.groups()) {
+      for (const Storage::Part& part : group.parts) {
+        out.lazy_entries.push_back(audit::LazyEntry{part.id, dest});
+      }
+    }
+  }
+}
+
 }  // namespace evps

@@ -46,6 +46,8 @@ class CleesEngine final : public BrokerEngine {
     return total;
   }
 
+  void export_audit_state(audit::EngineState& out) const override;
+
  protected:
   void do_add(const Installed& entry, EngineHost& host) override;
   void do_remove(const Installed& entry, EngineHost& host) override;

@@ -215,6 +215,32 @@ SubscriptionPtr BrokerEngine::subscription_of(SubscriptionId id) const noexcept 
   return it == subs_.end() ? nullptr : it->second.sub;
 }
 
+void BrokerEngine::export_audit_state(audit::EngineState& out) const {
+  out.kind = to_string(config_.kind);
+  out.dedup_identical = config_.dedup_identical;
+  for (const auto& [id, entry] : subs_) {
+    audit::InstalledSub e;
+    e.sub = entry.sub;
+    e.dest = entry.dest;
+    e.dest_is_broker = entry.dest_is_broker;
+    if (entry.sub) {
+      for (const Predicate& p : entry.sub->predicates()) {
+        if (p.is_evolving()) {
+          ++e.evolving_preds;
+        } else {
+          ++e.static_preds;
+        }
+      }
+    }
+    out.installed.emplace(id, std::move(e));
+  }
+  matcher_->collect_ids(out.matcher_ids);
+  static_dedup_.for_each_group([&out](const std::string& key,
+                                      const std::vector<SubscriptionId>& members) {
+    out.dedup_groups.push_back(audit::DedupGroup{key, members, /*lazy=*/false});
+  });
+}
+
 EvalScope& BrokerEngine::publication_scope(const Publication& pub,
                                            const VariableSnapshot* snapshot,
                                            const VariableRegistry& registry, SimTime now) {

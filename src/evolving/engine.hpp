@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/audit/snapshot.hpp"
 #include "common/ids.hpp"
 #include "common/sim_time.hpp"
 #include "expr/variable_registry.hpp"
@@ -142,6 +143,13 @@ class DedupTable {
 
   [[nodiscard]] std::size_t members() const noexcept { return key_of_.size(); }
   [[nodiscard]] std::size_t groups() const noexcept { return groups_.size(); }
+
+  /// Visit every group as (key, members); members.front() is the canonical
+  /// (physically installed) id. Snapshot export support (analysis/audit).
+  template <typename Fn>
+  void for_each_group(Fn&& fn) const {
+    for (const auto& [key, members] : groups_) fn(key, members);
+  }
   /// Physical installs currently saved by sharing.
   [[nodiscard]] std::size_t suppressed() const noexcept {
     return key_of_.size() - groups_.size();
@@ -228,6 +236,13 @@ class BrokerEngine {
 
   /// The (current) subscription object installed under `id`, or null.
   [[nodiscard]] SubscriptionPtr subscription_of(SubscriptionId id) const noexcept;
+
+  /// Export the engine's logical table and physical footprint into `out`
+  /// (analysis/audit snapshots). The base fills kind, dedup flag, the
+  /// installed table, the matcher's id population and the static dedup
+  /// groups; lazy engines override to append their storage entries and lazy
+  /// dedup groups (calling the base first).
+  virtual void export_audit_state(audit::EngineState& out) const;
 
  protected:
   struct Installed {

@@ -137,4 +137,13 @@ void HybridEngine::do_match(const Publication& pub, const VariableSnapshot* snap
   }
 }
 
+void HybridEngine::export_audit_state(audit::EngineState& out) const {
+  BrokerEngine::export_audit_state(out);
+  for (const auto& [dest, group] : storage_.groups()) {
+    for (const Storage::Part& part : group.parts) {
+      out.lazy_entries.push_back(audit::LazyEntry{part.id, dest});
+    }
+  }
+}
+
 }  // namespace evps

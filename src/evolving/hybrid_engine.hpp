@@ -43,6 +43,8 @@ class HybridEngine final : public BrokerEngine {
     return storage_.size() - versioned_count();
   }
 
+  void export_audit_state(audit::EngineState& out) const override;
+
  protected:
   void do_add(const Installed& entry, EngineHost& host) override;
   void do_remove(const Installed& entry, EngineHost& host) override;

@@ -200,4 +200,19 @@ void LeesEngine::do_match_batch(std::span<const Publication* const> pubs,
   }
 }
 
+void LeesEngine::export_audit_state(audit::EngineState& out) const {
+  BrokerEngine::export_audit_state(out);
+  for (const Leme& leme : leme_) {
+    for (const auto& [dest, group] : leme.groups()) {
+      for (const Leme::Part& part : group.parts) {
+        out.lazy_entries.push_back(audit::LazyEntry{part.id, dest});
+      }
+    }
+  }
+  lazy_dedup_.for_each_group([&out](const std::string& key,
+                                    const std::vector<SubscriptionId>& members) {
+    out.dedup_groups.push_back(audit::DedupGroup{key, members, /*lazy=*/true});
+  });
+}
+
 }  // namespace evps

@@ -53,6 +53,8 @@ class LeesEngine final : public BrokerEngine {
     return BrokerEngine::deduped_installs() + lazy_dedup_.suppressed();
   }
 
+  void export_audit_state(audit::EngineState& out) const override;
+
  protected:
   void do_add(const Installed& entry, EngineHost& host) override;
   void do_remove(const Installed& entry, EngineHost& host) override;

@@ -66,6 +66,14 @@ std::vector<VarId> VariableRegistry::ids() const {
   return out;
 }
 
+std::vector<VarId> VariableRegistry::declared_ids() const {
+  std::vector<VarId> out;
+  for (VarId var = 0; var < ranges_.size(); ++var) {
+    if (ranges_[var].declared) out.push_back(var);
+  }
+  return out;
+}
+
 void VariableRegistry::for_each_latest(const std::function<void(VarId, double)>& fn) const {
   for (VarId var = 0; var < vars_.size(); ++var) {
     if (!vars_[var].changes.empty()) fn(var, vars_[var].changes.back().second);

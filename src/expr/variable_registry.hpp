@@ -98,6 +98,10 @@ class VariableRegistry {
   /// Ids of all variables with at least one recorded change, ascending.
   [[nodiscard]] std::vector<VarId> ids() const;
 
+  /// Ids of all variables with a declared range, ascending — including ones
+  /// never set (snapshot export needs declarations without values).
+  [[nodiscard]] std::vector<VarId> declared_ids() const;
+
   /// Invoke `fn(var, latest_value)` for every known variable (snapshot
   /// piggybacking).
   void for_each_latest(const std::function<void(VarId, double)>& fn) const;

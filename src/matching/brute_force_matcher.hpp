@@ -21,6 +21,9 @@ class BruteForceMatcher final : public Matcher {
   void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
   [[nodiscard]] bool contains(SubscriptionId id) const override { return subs_.contains(id); }
   [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+  void collect_ids(std::vector<SubscriptionId>& out) const override {
+    for (const auto& [id, stored] : subs_) out.push_back(id);
+  }
 
  private:
   struct Stored {

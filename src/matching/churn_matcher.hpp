@@ -60,6 +60,9 @@ class ChurnMatcher final : public Matcher {
   void match(const Publication& pub, std::vector<SubscriptionId>& out) const override;
   [[nodiscard]] bool contains(SubscriptionId id) const override { return slot_of_.contains(id); }
   [[nodiscard]] std::size_t size() const override { return slot_of_.size(); }
+  void collect_ids(std::vector<SubscriptionId>& out) const override {
+    for (const auto& [id, slot] : slot_of_) out.push_back(id);
+  }
 
   [[nodiscard]] std::size_t predicate_count() const noexcept { return predicate_count_; }
 

@@ -79,6 +79,11 @@ class Matcher {
   [[nodiscard]] virtual bool contains(SubscriptionId id) const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
 
+  /// Append every installed subscription id to `out`, in no particular
+  /// order. Snapshot/audit support (analysis/audit): lets the auditor check
+  /// the matcher's physical footprint against the engine's logical table.
+  virtual void collect_ids(std::vector<SubscriptionId>& out) const = 0;
+
   /// Convenience wrapper.
   [[nodiscard]] std::vector<SubscriptionId> match(const Publication& pub) const {
     std::vector<SubscriptionId> out;

@@ -10,6 +10,9 @@ namespace evps {
 
 std::size_t default_matcher_shards() {
   static const std::size_t cached = [] {
+    // Read once before any worker thread exists; nothing in-process calls
+    // setenv, so the lone getenv is benign.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("EVPS_MATCHER_THREADS");
     if (env == nullptr || *env == '\0') return std::size_t{1};
     char* end = nullptr;

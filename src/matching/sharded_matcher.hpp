@@ -51,6 +51,9 @@ class ShardedMatcher final : public Matcher {
   using Matcher::match_batch;  // keep the contiguous-span convenience visible
   [[nodiscard]] bool contains(SubscriptionId id) const override;
   [[nodiscard]] std::size_t size() const override;
+  void collect_ids(std::vector<SubscriptionId>& out) const override {
+    for (const MatcherPtr& s : shards_) s->collect_ids(out);
+  }
 
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
   [[nodiscard]] std::size_t shard_of(SubscriptionId id) const noexcept {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/covering.hpp"
+#include "broker/audit_hook.hpp"
 #include "broker/overlay.hpp"
 #include "common/rng.hpp"
 #include "message/codec.hpp"
@@ -275,6 +276,11 @@ RunResult run_scenario(bool covering_on) {
     when += 0.25;
   }
   sim.run_until(sec(10));
+
+  // End-state invariant audit: the covering promotions, variable churn and
+  // the mid-run unsubscribe must leave globally consistent routing state
+  // (DESIGN.md §15) — throws AuditFailure with the violation list otherwise.
+  audit::SimAuditHook(overlay).check();
 
   RunResult result;
   for (const PubSubClient* c : {&s1, &s2, &s3, &s4, &s5}) {

@@ -3,6 +3,7 @@
 // advertisement-based routing, variable propagation.
 #include <gtest/gtest.h>
 
+#include "broker/audit_hook.hpp"
 #include "broker/overlay.hpp"
 #include "message/codec.hpp"
 
@@ -16,6 +17,16 @@ BrokerConfig make_config(EngineKind kind, RoutingMode routing) {
   cfg.engine.kind = kind;
   cfg.routing = routing;
   return cfg;
+}
+
+/// End-state invariant check: the settled overlay must audit clean
+/// (delivery completeness, forest, quiescence, ghost state — DESIGN.md §15).
+void expect_audit_clean(const Overlay& overlay) {
+  try {
+    audit::SimAuditHook(overlay).check();
+  } catch (const audit::AuditFailure& failure) {
+    ADD_FAILURE() << failure.what();
+  }
 }
 
 struct LineOverlayTest : ::testing::Test {
@@ -54,6 +65,7 @@ TEST_F(LineOverlayTest, PublicationRoutedAcrossOverlay) {
   EXPECT_EQ(subscriber->deliveries()[0].pub.get("x")->as_int(), 5);
   // Publication hop latency: 1ms + 5ms + 5ms + 1ms.
   EXPECT_EQ(subscriber->deliveries()[0].when, sec(1) + Duration::millis(12));
+  expect_audit_clean(overlay);
 }
 
 TEST_F(LineOverlayTest, NonMatchingPublicationNotForwardedToSubscriberEdge) {
@@ -77,6 +89,8 @@ TEST_F(LineOverlayTest, UnsubscribePropagates) {
   publisher->publish("x = 1");
   sim.run_until(sec(3));
   EXPECT_TRUE(subscriber->deliveries().empty());
+  // A full unsubscribe must leave zero ghost state anywhere in the overlay.
+  expect_audit_clean(overlay);
 }
 
 TEST_F(LineOverlayTest, EvolvingSubscriptionEvaluatedPerBroker) {
@@ -98,6 +112,7 @@ TEST_F(LineOverlayTest, VesEvolutionHappensOnEveryBroker) {
   publisher->publish("x = 4");  // bound ~6 at t=3
   sim.run_until(sec(4));
   EXPECT_EQ(subscriber->deliveries().size(), 1u);
+  expect_audit_clean(overlay);
 }
 
 TEST_F(LineOverlayTest, VariableUpdateFloodsBrokers) {
@@ -161,6 +176,7 @@ TEST_F(AdvertisementRoutingTest, SubscriptionOnlyForwardedTowardsIntersectingAdv
   sim.run_until(sec(3));
   EXPECT_EQ(matching_sub->deliveries().size(), 1u);
   EXPECT_TRUE(disjoint_sub->deliveries().empty());
+  expect_audit_clean(overlay);
 }
 
 TEST_F(AdvertisementRoutingTest, AdvertisementArrivingAfterSubscriptionTriggersCatchUp) {
@@ -187,6 +203,7 @@ TEST_F(AdvertisementRoutingTest, UnadvertiseRemovesState) {
   sim.run_until(sec(3));
   EXPECT_EQ(brokers[1]->subscription_count(), 0u);
   EXPECT_EQ(brokers[0]->subscription_count(), 0u);
+  expect_audit_clean(overlay);
 }
 
 TEST_F(AdvertisementRoutingTest, EvolvingSubscriptionsAlwaysForwardedConservatively) {

@@ -1,0 +1,131 @@
+// Snapshot-export round-trip tests (analysis/audit snapshots).
+//
+// For every engine kind x line/star topology x link-batch setting, build an
+// overlay, drive it through variable updates, subscriptions and a burst of
+// publications, settle, and assert:
+//   * re-exporting the unchanged overlay yields a bit-identical canonical
+//     text (export is deterministic and side-effect free),
+//   * normalize() is idempotent,
+//   * the snapshot audits clean on every combination (zero false positives),
+//     which in particular proves every link-batch buffer drained.
+#include "broker/audit_hook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace evps {
+namespace {
+
+using audit::AuditReport;
+using audit::OverlaySnapshot;
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+struct Combo {
+  EngineKind kind;
+  bool star;
+  std::size_t link_batch;
+  bool covering;
+};
+
+std::string describe(const Combo& c) {
+  return std::string(to_string(c.kind)) + (c.star ? "/star" : "/line") + "/batch=" +
+         std::to_string(c.link_batch) + (c.covering ? "/covering" : "");
+}
+
+bool supports_evolving(EngineKind kind) {
+  return kind != EngineKind::kStatic && kind != EngineKind::kParametric;
+}
+
+/// Build, drive and settle one overlay; return its quiesced snapshot.
+OverlaySnapshot drive(Simulator& sim, Overlay& overlay, const Combo& c) {
+  BrokerConfig config;
+  config.engine.kind = c.kind;
+  config.covering = c.covering;
+  config.link_batch_size = c.link_batch;
+  std::vector<Broker*> brokers = c.star
+                                     ? overlay.build_star(3, config, Duration::millis(2))
+                                     : overlay.build_line(4, config, Duration::millis(2));
+  for (Broker* b : brokers) b->variables().declare_range("v", 0, 100);
+  brokers.front()->set_variable("v", 7);
+
+  PubSubClient& publisher = overlay.add_client("publisher");
+  publisher.connect(*brokers.front(), Duration::millis(1));
+  PubSubClient& near_sub = overlay.add_client("near_sub");
+  near_sub.connect(*brokers.front(), Duration::millis(1));
+  PubSubClient& far_sub = overlay.add_client("far_sub");
+  far_sub.connect(*brokers.back(), Duration::millis(1));
+
+  near_sub.subscribe("x >= 0; x <= 50");
+  far_sub.subscribe("x >= 10; x <= 40");  // covered by the near sub's filter
+  if (supports_evolving(c.kind)) {
+    far_sub.subscribe("[tt=1] x <= 2 * v");
+  }
+  sim.run_until(sec(1));
+  for (int i = 0; i < 10; ++i) {
+    publisher.publish("x = " + std::to_string(i * 5));
+  }
+  sim.run_until(sec(3));
+  return audit::snapshot_overlay(overlay);
+}
+
+TEST(SnapshotExport, StableAndCleanAcrossEnginesTopologiesAndBatching) {
+  const EngineKind kinds[] = {EngineKind::kStatic, EngineKind::kParametric, EngineKind::kVes,
+                              EngineKind::kLees,   EngineKind::kClees,      EngineKind::kHybrid};
+  for (const EngineKind kind : kinds) {
+    for (const bool star : {false, true}) {
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+        const Combo combo{kind, star, batch, /*covering=*/kind == EngineKind::kClees};
+        SCOPED_TRACE(describe(combo));
+        Simulator sim;
+        Overlay overlay{sim};
+        const OverlaySnapshot snap = drive(sim, overlay, combo);
+        const std::string first = audit::canonical_text(snap);
+
+        // Re-export of the unchanged overlay is bit-identical.
+        const OverlaySnapshot again = audit::snapshot_overlay(overlay);
+        EXPECT_EQ(first, audit::canonical_text(again));
+
+        // normalize() is idempotent on an already-normalized snapshot.
+        OverlaySnapshot renorm = snap;
+        renorm.normalize();
+        EXPECT_EQ(first, audit::canonical_text(renorm));
+
+        // Zero false positives: the quiesced end state holds every invariant
+        // (in particular, batched links drained).
+        const AuditReport report = audit::OverlayAuditor().audit(snap);
+        EXPECT_TRUE(report.clean()) << report.format();
+        EXPECT_EQ(report.brokers_audited, overlay.brokers().size());
+      }
+    }
+  }
+}
+
+TEST(SnapshotExport, SnapshotIsPassive) {
+  // Mutating a snapshot must never perturb the overlay it came from.
+  Simulator sim;
+  Overlay overlay{sim};
+  const Combo combo{EngineKind::kClees, /*star=*/false, /*link_batch=*/1, /*covering=*/true};
+  OverlaySnapshot snap = drive(sim, overlay, combo);
+  const std::string before = audit::canonical_text(audit::snapshot_overlay(overlay));
+  snap.brokers.clear();
+  EXPECT_EQ(before, audit::canonical_text(audit::snapshot_overlay(overlay)));
+}
+
+TEST(SnapshotExport, ExportNamesEveryBroker) {
+  Simulator sim;
+  Overlay overlay{sim};
+  const Combo combo{EngineKind::kLees, /*star=*/true, /*link_batch=*/4, /*covering=*/false};
+  const OverlaySnapshot snap = drive(sim, overlay, combo);
+  ASSERT_EQ(snap.brokers.size(), 4u);
+  for (const audit::BrokerState& b : snap.brokers) {
+    EXPECT_FALSE(b.name.empty());
+    EXPECT_TRUE(b.node.valid());
+    EXPECT_NE(snap.find(b.node), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace evps

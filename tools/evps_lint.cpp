@@ -34,7 +34,6 @@
 // prints "unsatisfiable" for the subscription (price cannot exceed 130 yet
 // must reach 150) and exits 1.
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -44,7 +43,8 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
-#include "analysis/covering.hpp"
+#include "analysis/covering_index.hpp"
+#include "analysis/scenario.hpp"
 #include "common/sim_time.hpp"
 #include "message/codec.hpp"
 
@@ -93,16 +93,6 @@ struct LintContext {
   int warnings = 0;
 };
 
-std::string_view trim_view(std::string_view s) {
-  while (!s.empty() && (std::isspace(static_cast<unsigned char>(s.front())) != 0)) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (std::isspace(static_cast<unsigned char>(s.back())) != 0)) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
 /// Print "file:line: error: ..." followed by the offending line with a caret
 /// under the bad token. `offset` is relative to `body`, which starts at
 /// column `body_col` of `line`. Suppressed (recorded only) in JSON mode.
@@ -123,68 +113,32 @@ void caret_diagnostic(LintContext& ctx, int line_no, const std::string& line,
             << std::string(token.size() > 1 ? token.size() - 1 : 0, '~') << "\n";
 }
 
-/// `var <name> [= <value>] in [<lo>, <hi>]`
-void handle_var(LintContext& ctx, int line_no, const std::string& line, std::string_view body) {
-  std::istringstream in{std::string(body)};
-  std::string name;
-  std::string tok;
-  double value = 0;
-  bool has_value = false;
-  double lo = 0;
-  double hi = 0;
-  in >> name >> tok;
-  if (tok == "=") {
-    in >> value >> tok;
-    has_value = true;
-  }
-  char lbracket = 0;
-  char comma = 0;
-  char rbracket = 0;
-  in >> lbracket >> lo >> comma >> hi >> rbracket;
-  if (name.empty() || tok != "in" || lbracket != '[' || comma != ',' || rbracket != ']' ||
-      in.fail()) {
-    caret_diagnostic(ctx, line_no, line, 0, 0, "",
-                     "bad var directive (expected: var <name> [= <value>] in [<lo>, <hi>])");
-    return;
-  }
+/// `var <name> [= <value>] in [<lo>, <hi>]` — syntax already validated by
+/// parse_scenario; only the registry's semantic checks can fail here.
+void handle_var(LintContext& ctx, const ScenarioDirective& d) {
   try {
-    ctx.registry.declare_range(name, lo, hi);
-    if (has_value) ctx.registry.set(name, value, SimTime::zero());
+    ctx.registry.declare_range(d.var_name, d.var_lo, d.var_hi);
+    if (d.var_has_value) ctx.registry.set(d.var_name, d.var_value, SimTime::zero());
   } catch (const std::invalid_argument& e) {
-    caret_diagnostic(ctx, line_no, line, 0, 0, "", e.what());
+    caret_diagnostic(ctx, d.line_no, d.line, 0, 0, "", e.what());
   }
 }
 
-void handle_adv(LintContext& ctx, int line_no, const std::string& line, std::string_view body,
-                std::size_t body_col) {
-  try {
-    // Reuse the subscription grammar for the predicate list; metadata
-    // options make no sense on an advertisement and are rejected upstream.
-    const Subscription parsed = parse_subscription(body);
-    Advertisement adv(MessageId{static_cast<std::uint64_t>(ctx.ads.size() + 1)}, ClientId{0},
-                      parsed.predicates());
-    ctx.ads.push_back(std::move(adv));
-  } catch (const CodecError& e) {
-    caret_diagnostic(ctx, line_no, line, body_col, e.has_location() ? e.offset() : 0,
-                     e.has_location() ? e.token() : "", e.what());
-  }
+void handle_adv(LintContext& ctx, const ScenarioDirective& d) {
+  // Metadata options make no sense on an advertisement and are rejected
+  // upstream; the predicate list reuses the subscription grammar.
+  ctx.ads.emplace_back(MessageId{static_cast<std::uint64_t>(ctx.ads.size() + 1)}, ClientId{0},
+                       d.sub.predicates());
 }
 
-void handle_sub(LintContext& ctx, int line_no, const std::string& line, std::string_view body,
-                std::size_t body_col) {
+void handle_sub(LintContext& ctx, const ScenarioDirective& d) {
   SubRecord rec;
-  try {
-    rec.sub = parse_subscription(body);
-  } catch (const CodecError& e) {
-    caret_diagnostic(ctx, line_no, line, body_col, e.has_location() ? e.offset() : 0,
-                     e.has_location() ? e.token() : "", e.what());
-    return;
-  }
+  rec.sub = d.sub;
   rec.index = static_cast<int>(ctx.subs.size()) + 1;
-  rec.line_no = line_no;
-  rec.line = line;
-  rec.body_col = body_col;
-  rec.text = std::string(body);
+  rec.line_no = d.line_no;
+  rec.line = d.line;
+  rec.body_col = d.body_col;
+  rec.text = d.body;
   rec.sub.set_id(SubscriptionId{static_cast<std::uint64_t>(rec.index)});
 
   std::vector<const Advertisement*> ads;
@@ -198,45 +152,58 @@ void handle_sub(LintContext& ctx, int line_no, const std::string& line, std::str
   }
 
   if (!ctx.opts.json) {
-    std::cout << ctx.path << ":" << line_no << ": sub " << rec.index << ": " << rec.verdict;
+    std::cout << ctx.path << ":" << rec.line_no << ": sub " << rec.index << ": " << rec.verdict;
     if (!rec.diagnostic.empty()) std::cout << " — " << rec.diagnostic;
     std::cout << "\n";
     if (!rec.folds_to.empty()) std::cout << "    folds to: " << rec.folds_to << "\n";
   }
   if (analysis.verdict == Verdict::kMalformed || analysis.verdict == Verdict::kUnsatisfiable) {
     ++ctx.errors;
-    ctx.diags.push_back(Diagnostic{line_no, false, rec.verdict + ": " + rec.diagnostic});
+    ctx.diags.push_back(Diagnostic{rec.line_no, false, rec.verdict + ": " + rec.diagnostic});
   } else if (analysis.verdict == Verdict::kAdUncovered) {
     // Installable but cannot match today: a warning (fails under --werror).
     ++ctx.warnings;
-    ctx.diags.push_back(Diagnostic{line_no, true, rec.verdict + ": " + rec.diagnostic});
+    ctx.diags.push_back(Diagnostic{rec.line_no, true, rec.verdict + ": " + rec.diagnostic});
   }
   ctx.subs.push_back(std::move(rec));
 }
 
-/// Pairwise covering pass (--covering): warn about every subscription whose
+/// Covering pass (--covering): warn about every subscription whose
 /// publication set is provably contained in another's — it is redundant for
 /// covering-based routing (the broker would suppress its dissemination).
+///
+/// Runs on the same incremental CoveringIndex the brokers use, inserting the
+/// subscriptions in file order against the final variable state: a parent
+/// edge means the new subscription is covered by an existing root, a
+/// demotion means the new subscription covers earlier roots. Each covered
+/// subscription yields exactly one finding (its forest parent), and an
+/// equivalence class keeps its earliest member as the representative — same
+/// semantics as the old O(n²) pairwise scan at O(n · candidate) cost.
 void covering_report(LintContext& ctx) {
-  for (const SubRecord& covered : ctx.subs) {
-    for (const SubRecord& coverer : ctx.subs) {
-      if (coverer.index == covered.index) continue;
-      if (covers(coverer.sub, covered.sub, ctx.registry) != CoverVerdict::kCovers) continue;
-      // Mutual covering (equivalent subscriptions): report only the later
-      // one so an equivalence class keeps exactly one representative.
-      if (coverer.index > covered.index &&
-          covers(covered.sub, coverer.sub, ctx.registry) == CoverVerdict::kCovers) {
-        continue;
-      }
-      ctx.covering.push_back(CoverFinding{coverer.index, covered.index});
-      caret_diagnostic(ctx, covered.line_no, covered.line, covered.body_col, 0, covered.text,
-                       "sub " + std::to_string(covered.index) + " is covered by sub " +
-                           std::to_string(coverer.index) + " (line " +
-                           std::to_string(coverer.line_no) +
-                           "): redundant for covering-based routing",
-                       /*warning=*/true);
-      break;  // one finding per covered subscription
+  CoveringIndex index;
+  std::vector<CoverFinding> findings;
+  for (const SubRecord& rec : ctx.subs) {
+    const CoveringIndex::AddResult result = index.add(rec.sub, ctx.registry);
+    if (result.parent.valid()) {
+      findings.push_back(CoverFinding{static_cast<int>(result.parent.value()), rec.index});
     }
+    for (const SubscriptionId demoted : result.demoted) {
+      findings.push_back(CoverFinding{rec.index, static_cast<int>(demoted.value())});
+    }
+  }
+  // Report in file order of the covered subscription, like the old scan.
+  std::sort(findings.begin(), findings.end(),
+            [](const CoverFinding& a, const CoverFinding& b) { return a.covered < b.covered; });
+  for (const CoverFinding& f : findings) {
+    const SubRecord& covered = ctx.subs[static_cast<std::size_t>(f.covered) - 1];
+    const SubRecord& coverer = ctx.subs[static_cast<std::size_t>(f.coverer) - 1];
+    ctx.covering.push_back(f);
+    caret_diagnostic(ctx, covered.line_no, covered.line, covered.body_col, 0, covered.text,
+                     "sub " + std::to_string(covered.index) + " is covered by sub " +
+                         std::to_string(coverer.index) + " (line " +
+                         std::to_string(coverer.line_no) +
+                         "): redundant for covering-based routing",
+                     /*warning=*/true);
   }
 }
 
@@ -301,28 +268,27 @@ int lint_file(const std::string& path, const Options& opts) {
   LintContext ctx;
   ctx.path = path;
   ctx.opts = opts;
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string_view rest = trim_view(line);
-    if (rest.empty() || rest.front() == '#') continue;
-    const auto space = rest.find_first_of(" \t");
-    const std::string_view directive = rest.substr(0, space);
-    std::string_view body =
-        space == std::string_view::npos ? std::string_view{} : trim_view(rest.substr(space));
-    const auto body_col =
-        body.empty() ? line.size() : static_cast<std::size_t>(body.data() - line.data());
-    if (directive == "var") {
-      handle_var(ctx, line_no, line, body);
-    } else if (directive == "adv") {
-      handle_adv(ctx, line_no, line, body, body_col);
-    } else if (directive == "sub") {
-      handle_sub(ctx, line_no, line, body, body_col);
-    } else {
-      caret_diagnostic(ctx, line_no, line, 0, 0, "",
-                       "unknown directive '" + std::string(directive) +
-                           "' (expected var, adv or sub)");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  // Syntax via the shared scenario front end (analysis/scenario.hpp);
+  // directives replay in file order so each subscription is analyzed
+  // against only the vars/ads that appeared above it.
+  const Scenario scenario = parse_scenario(buffer.str());
+  for (const ScenarioDirective& d : scenario.directives) {
+    switch (d.kind) {
+      case ScenarioDirective::Kind::kVar:
+        handle_var(ctx, d);
+        break;
+      case ScenarioDirective::Kind::kAdv:
+        handle_adv(ctx, d);
+        break;
+      case ScenarioDirective::Kind::kSub:
+        handle_sub(ctx, d);
+        break;
+      case ScenarioDirective::Kind::kError:
+        caret_diagnostic(ctx, d.line_no, d.line, d.body_col, d.error_offset, d.error_token,
+                         d.error_message);
+        break;
     }
   }
   if (opts.covering) covering_report(ctx);
