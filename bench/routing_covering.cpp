@@ -10,14 +10,20 @@
 //   hft  — price bands: wide desk-level band subscriptions covering nested
 //     per-trader bands, plus exact duplicates (identical alert rules),
 //     which also exercises the engines' identical-predicate dedup.
+//   game_rotated — moving-centre zones in rotated coordinates: every zone
+//     tracks a per-cluster centre *variable* (u/w boxes around rot_cu/rot_cw),
+//     so the per-attribute inner shape of each coverer is empty and only the
+//     relational (octagon) refinement can prove the covering. This workload
+//     runs three ways — covering off, covering on with relational off, and
+//     covering on with relational on — to isolate the relational delta.
 //
-// Each workload runs twice — BrokerConfig::covering off and on — with an
-// identical message script, including an unsubscribe wave that removes ~20%
-// of the coverers mid-run (uncover-on-remove re-dissemination). The runs
-// must produce bit-identical client delivery logs (checked; the bench exits
-// nonzero on divergence, so the bench-smoke ctest entry doubles as a
-// regression test), while the covering run must need fewer
-// subscription-dissemination messages and smaller matchers.
+// Each workload runs under identical message scripts, including an
+// unsubscribe wave that removes ~20% of the coverers mid-run
+// (uncover-on-remove re-dissemination). The runs must produce bit-identical
+// client delivery logs (checked; the bench exits nonzero on divergence, so
+// the bench-smoke ctest entry doubles as a regression test), while the
+// covering run must need fewer subscription-dissemination messages and
+// smaller matchers.
 //
 // Results are printed as tables and recorded in BENCH_routing.json
 // (argv[1] overrides the output path).
@@ -54,9 +60,17 @@ struct RunStats {
   std::vector<std::string> delivery_log;
 };
 
+struct VarSpec {
+  std::string name;
+  double lo = 0;
+  double hi = 0;
+  double value = 0;
+};
+
 struct Workload {
   std::string name;
   std::string adv;                      // advertised publication space
+  std::vector<VarSpec> vars;            // workload-specific declared variables
   std::vector<std::string> subs;        // subscription texts, cluster-ordered
   std::vector<std::size_t> unsub_wave;  // indices unsubscribed mid-run
   std::vector<std::string> pubs;        // publication texts
@@ -152,20 +166,71 @@ Workload make_hft_workload() {
   return w;
 }
 
-RunStats run(const Workload& w, bool covering_on) {
+/// `var + d` / `var - |d|` with a parser-friendly sign.
+std::string shifted(const std::string& var, double d) {
+  return d < 0 ? var + " - " + fmt_num(-d) : var + " + " + fmt_num(d);
+}
+
+/// Rotated-coordinate moving zones: every zone is a u/w box centred on the
+/// cluster's centre variables (rot_cuK/rot_cwK), wide boxes (+-60) covering
+/// narrower ones (reach <= 15 + 35 < 60). Because the centre variables range
+/// over [100, 900], the coverers' per-attribute inner shapes are empty —
+/// only the relational refinement can prove these coverings.
+Workload make_rotated_workload() {
+  Workload w;
+  w.name = "game_rotated";
+  w.adv = "u >= 0; u <= 2000; w >= -1000; w <= 1000";
+  Rng rng{4091};
+  for (int e = 0; e < kEdges; ++e) {
+    for (int c = 0; c < kClustersPerEdge; ++c) {
+      const int k = e * kClustersPerEdge + c;
+      const std::string cu = "rot_cu" + std::to_string(k);
+      const std::string cw = "rot_cw" + std::to_string(k);
+      const double cuv = rng.uniform(150.0, 850.0);
+      const double cwv = rng.uniform(-400.0, 400.0);
+      w.vars.push_back({cu, 100.0, 900.0, cuv});
+      w.vars.push_back({cw, -500.0, 500.0, cwv});
+      std::vector<std::string> zones;
+      for (int s = 0; s < kCoveredPerCluster; ++s) {
+        const double r = rng.uniform(5.0, 35.0);
+        const double ou = rng.uniform(-15.0, 15.0);
+        const double ow = rng.uniform(-15.0, 15.0);
+        zones.push_back("[tt=0.5] u >= " + shifted(cu, ou - r) + "; u <= " + shifted(cu, ou + r) +
+                        "; w >= " + shifted(cw, ow - r) + "; w <= " + shifted(cw, ow + r));
+      }
+      w.subs.push_back(zones[0]);
+      w.subs.push_back(zones[1]);
+      w.subs.push_back("[tt=0.5] u >= " + shifted(cu, -60) + "; u <= " + shifted(cu, 60) +
+                       "; w >= " + shifted(cw, -60) + "; w <= " + shifted(cw, 60));
+      const std::size_t coverer = w.subs.size() - 1;
+      if (rng.bernoulli(0.25)) w.unsub_wave.push_back(coverer);
+      for (int s = 2; s < kCoveredPerCluster; ++s) w.subs.push_back(zones[s]);
+      for (int p = 0; p < 4; ++p) {
+        w.pubs.push_back("u = " + fmt_num(cuv + rng.uniform(-70.0, 70.0)) +
+                         "; w = " + fmt_num(cwv + rng.uniform(-70.0, 70.0)));
+      }
+    }
+  }
+  return w;
+}
+
+RunStats run(const Workload& w, bool covering_on, bool relational_on = true) {
   Simulator sim;
   Overlay overlay{sim};
   BrokerConfig cfg;
   cfg.engine.kind = EngineKind::kLees;
   cfg.routing = RoutingMode::kAdvertisement;
   cfg.covering = covering_on;
+  cfg.relational_covering = relational_on;
   auto brokers = overlay.build_star(kEdges, cfg, Duration::millis(5));
   for (auto* b : brokers) {
     b->variables().declare_range("gz_load", 0.0, 1.0);
     b->variables().declare_range("hf_vix", 0.0, 1.0);
+    for (const VarSpec& v : w.vars) b->variables().declare_range(v.name, v.lo, v.hi);
   }
   brokers[0]->set_variable("gz_load", 0.5);
   brokers[0]->set_variable("hf_vix", 0.3);
+  for (const VarSpec& v : w.vars) brokers[0]->set_variable(v.name, v.value);
 
   PubSubClient& publisher = overlay.add_client("pub");
   publisher.connect(*brokers[1], Duration::millis(1));
@@ -216,6 +281,7 @@ RunStats run(const Workload& w, bool covering_on) {
     r.pairs.pairs += cs.pairs;
     r.pairs.covered += cs.covered;
     r.pairs.unknown += cs.unknown;
+    r.pairs.relational += cs.relational;
   }
   for (const PubSubClient* c : subscribers) {
     r.deliveries += c->deliveries().size();
@@ -227,26 +293,52 @@ RunStats run(const Workload& w, bool covering_on) {
   return r;
 }
 
-void json_scenario(std::ostream& os, const std::string& name, const RunStats& off,
-                   const RunStats& on) {
-  const double reduction =
-      off.subscription_msgs == 0
-          ? 0.0
-          : 100.0 * (1.0 - static_cast<double>(on.subscription_msgs) /
-                               static_cast<double>(off.subscription_msgs));
-  os << "    {\"name\":\"" << name << "\","
-     << "\"off\":{\"subscription_msgs\":" << off.subscription_msgs
-     << ",\"matcher_population\":" << off.matcher_population
-     << ",\"deduped_installs\":" << off.deduped_installs << ",\"deliveries\":" << off.deliveries
-     << "},"
-     << "\"on\":{\"subscription_msgs\":" << on.subscription_msgs
+double reduction_pct(const RunStats& base, const RunStats& opt) {
+  return base.subscription_msgs == 0
+             ? 0.0
+             : 100.0 * (1.0 - static_cast<double>(opt.subscription_msgs) /
+                                  static_cast<double>(base.subscription_msgs));
+}
+
+void json_on_stats(std::ostream& os, const RunStats& on) {
+  os << "{\"subscription_msgs\":" << on.subscription_msgs
      << ",\"matcher_population\":" << on.matcher_population
      << ",\"deduped_installs\":" << on.deduped_installs << ",\"deliveries\":" << on.deliveries
      << ",\"suppressed_forwards\":" << on.suppressed
      << ",\"demote_unsubscribes\":" << on.demote_unsubscribes
      << ",\"resubscribes\":" << on.resubscribes << ",\"pairs_analyzed\":" << on.pairs.pairs
-     << ",\"pairs_covered\":" << on.pairs.covered << "},"
-     << "\"dissemination_reduction_pct\":" << reduction << "}";
+     << ",\"pairs_covered\":" << on.pairs.covered
+     << ",\"pairs_relational\":" << on.pairs.relational << "}";
+}
+
+void json_off_stats(std::ostream& os, const RunStats& off) {
+  os << "{\"subscription_msgs\":" << off.subscription_msgs
+     << ",\"matcher_population\":" << off.matcher_population
+     << ",\"deduped_installs\":" << off.deduped_installs << ",\"deliveries\":" << off.deliveries
+     << "}";
+}
+
+void json_scenario(std::ostream& os, const std::string& name, const RunStats& off,
+                   const RunStats& on) {
+  os << "    {\"name\":\"" << name << "\",\"off\":";
+  json_off_stats(os, off);
+  os << ",\"on\":";
+  json_on_stats(os, on);
+  os << ",\"dissemination_reduction_pct\":" << reduction_pct(off, on) << "}";
+}
+
+/// Three-way rotated scenario: the relational delta is the difference
+/// between covering-on-relational-off and covering-on-relational-on.
+void json_rotated(std::ostream& os, const std::string& name, const RunStats& off,
+                  const RunStats& per_attr, const RunStats& rel) {
+  os << "    {\"name\":\"" << name << "\",\"off\":";
+  json_off_stats(os, off);
+  os << ",\"on_perattr\":";
+  json_on_stats(os, per_attr);
+  os << ",\"on_relational\":";
+  json_on_stats(os, rel);
+  os << ",\"dissemination_reduction_pct\":" << reduction_pct(off, rel)
+     << ",\"relational_reduction_pct\":" << reduction_pct(per_attr, rel) << "}";
 }
 
 }  // namespace
@@ -293,7 +385,57 @@ int main(int argc, char** argv) {
     }
 
     json_scenario(json, w.name, off, on);
-    json << (wi == 0 ? ",\n" : "\n");
+    json << ",\n";
+  }
+
+  // Rotated moving-centre workload: three configurations isolate what the
+  // relational refinement buys on top of per-attribute covering.
+  {
+    const Workload w = make_rotated_workload();
+    const RunStats off = run(w, false);
+    const RunStats per_attr = run(w, true, /*relational_on=*/false);
+    const RunStats rel = run(w, true, /*relational_on=*/true);
+
+    print_banner(w.name + " workload (" + std::to_string(w.subs.size()) + " subscriptions, " +
+                 std::to_string(w.unsub_wave.size()) + " coverers removed mid-run)");
+    Table t{{"metric", "covering off", "on, per-attr", "on, relational"}};
+    t.add_row({"subscription msgs", std::to_string(off.subscription_msgs),
+               std::to_string(per_attr.subscription_msgs), std::to_string(rel.subscription_msgs)});
+    t.add_row({"matcher population", std::to_string(off.matcher_population),
+               std::to_string(per_attr.matcher_population), std::to_string(rel.matcher_population)});
+    t.add_row({"deliveries", std::to_string(off.deliveries), std::to_string(per_attr.deliveries),
+               std::to_string(rel.deliveries)});
+    t.add_row({"suppressed forwards", "-", std::to_string(per_attr.suppressed),
+               std::to_string(rel.suppressed)});
+    t.add_row({"covering pairs (covered)", "-",
+               std::to_string(per_attr.pairs.pairs) + " (" +
+                   std::to_string(per_attr.pairs.covered) + ")",
+               std::to_string(rel.pairs.pairs) + " (" + std::to_string(rel.pairs.covered) + ")"});
+    t.add_row({"relational proofs", "-", std::to_string(per_attr.pairs.relational),
+               std::to_string(rel.pairs.relational)});
+    t.print();
+    std::cout << "dissemination reduction vs off: " << Table::fmt(reduction_pct(off, rel), 1)
+              << "%  (relational vs per-attr: " << Table::fmt(reduction_pct(per_attr, rel), 1)
+              << "%)\n";
+
+    if (off.delivery_log != per_attr.delivery_log || off.delivery_log != rel.delivery_log) {
+      std::cerr << "ERROR: delivery logs diverge across configurations in " << w.name << "\n";
+      diverged = true;
+    }
+    // The workload exists to exercise the octagon: the relational run must
+    // actually prove coverings the per-attribute run cannot.
+    if (rel.pairs.relational == 0 || rel.suppressed <= per_attr.suppressed ||
+        rel.subscription_msgs >= per_attr.subscription_msgs) {
+      std::cerr << "ERROR: relational covering produced no routing benefit in " << w.name << "\n";
+      diverged = true;
+    }
+    if (per_attr.pairs.relational != 0) {
+      std::cerr << "ERROR: relational-off run reported relational proofs in " << w.name << "\n";
+      diverged = true;
+    }
+
+    json_rotated(json, w.name, off, per_attr, rel);
+    json << "\n";
   }
   json << "  ]\n}";
 

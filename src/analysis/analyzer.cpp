@@ -4,6 +4,8 @@
 #include <limits>
 #include <map>
 
+#include "analysis/relational.hpp"
+
 namespace evps {
 namespace {
 
@@ -139,6 +141,8 @@ std::string_view to_string(Verdict v) noexcept {
     case Verdict::kAdUncovered: return "ad-uncovered";
     case Verdict::kUnsatisfiable: return "unsatisfiable";
     case Verdict::kMalformed: return "malformed";
+    case Verdict::kRelUnsatisfiable: return "relationally-unsatisfiable";
+    case Verdict::kRelRedundant: return "relationally-redundant";
   }
   return "?";
 }
@@ -208,6 +212,17 @@ SubscriptionAnalysis analyze_subscription(const Subscription& sub,
     }
   }
 
+  // Cross-attribute infeasibility the per-attribute sets cannot see (the
+  // octagon only gains over them when evolving bounds relate attributes
+  // through shared variables, so skip the work for static subscriptions).
+  if (any_evolving && relational_shape(sub, registry).rel_unsat) {
+    out.verdict = Verdict::kRelUnsatisfiable;
+    out.diagnostic =
+        "predicate conjunction is infeasible across attributes for every "
+        "reachable variable assignment (octagon domain)";
+    return out;
+  }
+
   if (!ads.empty()) {
     bool covered = false;
     for (const Advertisement* ad : ads) {
@@ -256,6 +271,17 @@ SubscriptionAnalysis analyze_subscription(const Subscription& sub,
       out.verdict = Verdict::kConstant;
       out.diagnostic = "every evolving bound is provably constant";
       out.folded = std::move(folded);
+    }
+  }
+
+  if (out.verdict == Verdict::kOk && any_evolving) {
+    const int redundant = find_redundant_predicate(sub, registry);
+    if (redundant >= 0) {
+      out.verdict = Verdict::kRelRedundant;
+      out.redundant_predicate = redundant;
+      out.diagnostic =
+          "predicate '" + sub.predicates()[static_cast<std::size_t>(redundant)].to_string() +
+          "' is entailed by the other predicates";
     }
   }
   return out;

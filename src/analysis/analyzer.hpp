@@ -12,9 +12,16 @@
 //   kAdUncovered    satisfiable in principle, but provably disjoint from
 //                   every known advertisement — under advertisement routing
 //                   no covered publication can reach it.
+//   kRelUnsatisfiable  satisfiable attribute-by-attribute, but the octagon
+//                   domain (analysis/relational.hpp) proves the conjunction
+//                   infeasible across attributes/variables (e.g. `x <= v`
+//                   with `x >= v + 10`).
 //   kConstant       every evolving predicate's bound is a single provable
 //                   value — the subscription can be folded to a static one
 //                   and skip the lazy-evaluation path entirely.
+//   kRelRedundant   some predicate is provably entailed by the others
+//                   (advisory: the subscription behaves identically with the
+//                   predicate removed; it stays installed as-is).
 //   kOk             none of the above.
 //
 // Verdicts are ordered most-severe-first; analysis returns the most severe
@@ -38,7 +45,16 @@
 
 namespace evps {
 
-enum class Verdict : std::uint8_t { kOk, kConstant, kAdUncovered, kUnsatisfiable, kMalformed };
+enum class Verdict : std::uint8_t {
+  kOk,
+  kConstant,
+  kAdUncovered,
+  kUnsatisfiable,
+  kMalformed,
+  // Appended (wire/enum stability): relational-domain verdicts.
+  kRelUnsatisfiable,
+  kRelRedundant,
+};
 
 [[nodiscard]] std::string_view to_string(Verdict v) noexcept;
 
@@ -46,10 +62,12 @@ enum class Verdict : std::uint8_t { kOk, kConstant, kAdUncovered, kUnsatisfiable
 [[nodiscard]] constexpr int severity(Verdict v) noexcept {
   switch (v) {
     case Verdict::kOk: return 0;
-    case Verdict::kConstant: return 1;
-    case Verdict::kAdUncovered: return 2;
-    case Verdict::kUnsatisfiable: return 3;
-    case Verdict::kMalformed: return 4;
+    case Verdict::kRelRedundant: return 1;
+    case Verdict::kConstant: return 2;
+    case Verdict::kAdUncovered: return 3;
+    case Verdict::kRelUnsatisfiable: return 4;
+    case Verdict::kUnsatisfiable: return 5;
+    case Verdict::kMalformed: return 6;
   }
   return 0;
 }
@@ -88,6 +106,8 @@ struct SubscriptionAnalysis {
   bool time_dependent = false;
   /// Every evolving predicate has a provably constant bound.
   bool constant_bounds = false;
+  /// Index of the predicate flagged by kRelRedundant, -1 otherwise.
+  int redundant_predicate = -1;
   /// Static equivalent, present iff verdict == kConstant: evolving
   /// predicates replaced by their folded values (bit-identical to lazy
   /// evaluation), metadata preserved.

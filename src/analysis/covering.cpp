@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/relational.hpp"
 #include "analysis/verifier.hpp"
 #include "expr/program.hpp"
 
@@ -143,41 +144,42 @@ ValueSet evolving_inner_set(RelOp op, const Interval& iv) {
   return ValueSet::nothing();
 }
 
+ValueSet pred_set(const Predicate& pred, const VariableRegistry& registry, Approx approx) {
+  if (!pred.is_evolving()) return static_pred_set(pred.op(), pred.constant(), approx);
+  ValueSet set = approx == Approx::kOuter ? ValueSet::universe() : ValueSet::nothing();
+  try {
+    const ExprProgram prog = ExprProgram::compile(*pred.fun());
+    if (verify_program(prog).ok) {
+      bool guaranteed = true;
+      if (approx == Approx::kInner) {
+        // The coverer must never fail closed: every referenced variable
+        // (other than `t`) must already be set — registry histories are
+        // append-only, so it then resolves at every later instant.
+        for (const VarId var : prog.variables()) {
+          if (var != elapsed_time_var_id() && !registry.get(var).has_value()) {
+            guaranteed = false;
+            break;
+          }
+        }
+      }
+      if (guaranteed) {
+        const RegistryVarBounds bounds(registry);
+        const Interval iv = eval_interval(prog, bounds);
+        set = approx == Approx::kOuter ? evolving_outer_set(pred.op(), iv)
+                                       : evolving_inner_set(pred.op(), iv);
+      }
+    }
+  } catch (const std::exception&) {
+    // Uncompilable/unverifiable function: keep the degraded default.
+  }
+  return set;
+}
+
 SubscriptionShape build_shape(const Subscription& sub, const VariableRegistry& registry,
                               Approx approx) {
   SubscriptionShape shape;
-  const RegistryVarBounds bounds(registry);
   for (const Predicate& pred : sub.predicates()) {
-    ValueSet set;
-    if (!pred.is_evolving()) {
-      set = static_pred_set(pred.op(), pred.constant(), approx);
-    } else {
-      set = approx == Approx::kOuter ? ValueSet::universe() : ValueSet::nothing();
-      try {
-        const ExprProgram prog = ExprProgram::compile(*pred.fun());
-        if (verify_program(prog).ok) {
-          bool guaranteed = true;
-          if (approx == Approx::kInner) {
-            // The coverer must never fail closed: every referenced variable
-            // (other than `t`) must already be set — registry histories are
-            // append-only, so it then resolves at every later instant.
-            for (const VarId var : prog.variables()) {
-              if (var != elapsed_time_var_id() && !registry.get(var).has_value()) {
-                guaranteed = false;
-                break;
-              }
-            }
-          }
-          if (guaranteed) {
-            const Interval iv = eval_interval(prog, bounds);
-            set = approx == Approx::kOuter ? evolving_outer_set(pred.op(), iv)
-                                           : evolving_inner_set(pred.op(), iv);
-          }
-        }
-      } catch (const std::exception&) {
-        // Uncompilable/unverifiable function: keep the degraded default.
-      }
-    }
+    ValueSet set = pred_set(pred, registry, approx);
     const auto [it, inserted] = shape.attrs.try_emplace(pred.attr_id(), std::move(set));
     if (!inserted) it->second.intersect(set);
   }
@@ -292,6 +294,10 @@ SubscriptionShape outer_shape(const Subscription& sub, const VariableRegistry& r
   return build_shape(sub, registry, Approx::kOuter);
 }
 
+ValueSet outer_pred_set(const Predicate& pred, const VariableRegistry& registry) {
+  return pred_set(pred, registry, Approx::kOuter);
+}
+
 SubscriptionShape inner_shape(const Subscription& sub, const VariableRegistry& registry) {
   return build_shape(sub, registry, Approx::kInner);
 }
@@ -308,8 +314,18 @@ CoverVerdict covers(const SubscriptionShape& a_inner, const SubscriptionShape& b
 }
 
 CoverVerdict covers(const Subscription& a, const Subscription& b,
+                    const VariableRegistry& registry, bool relational) {
+  const SubscriptionShape a_inner = inner_shape(a, registry);
+  const SubscriptionShape b_outer = outer_shape(b, registry);
+  const CoverVerdict v = covers(a_inner, b_outer);
+  if (v == CoverVerdict::kCovers || !relational) return v;
+  return covers_relational(a_inner, relational_shape(a, registry), b_outer,
+                           relational_shape(b, registry));
+}
+
+CoverVerdict covers(const Subscription& a, const Subscription& b,
                     const VariableRegistry& registry) {
-  return covers(inner_shape(a, registry), outer_shape(b, registry));
+  return covers(a, b, registry, /*relational=*/true);
 }
 
 }  // namespace evps

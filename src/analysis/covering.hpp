@@ -122,6 +122,12 @@ struct SubscriptionShape {
 [[nodiscard]] SubscriptionShape outer_shape(const Subscription& sub,
                                             const VariableRegistry& registry);
 
+/// OVER-approximate satisfying set of one predicate in isolation;
+/// outer_shape is the per-attribute intersection of these. Exposed for the
+/// relational analysis (analysis/relational.hpp), which needs per-predicate
+/// sets to exclude one predicate at a time.
+[[nodiscard]] ValueSet outer_pred_set(const Predicate& pred, const VariableRegistry& registry);
+
 /// UNDER-approximate shape: a publication whose value on every constrained
 /// attribute lies in the attribute's set matches, for every reachable
 /// assignment and future instant. Inexpressible or non-guaranteeable
@@ -137,16 +143,22 @@ struct SubscriptionShape {
                                   const SubscriptionShape& b_outer);
 
 /// Convenience: does `a` cover `b` under `registry`'s declared ranges and
-/// currently-set variables?
+/// currently-set variables? Runs the per-attribute check and, when
+/// `relational` is true (the default — the auditor's re-proofs must be at
+/// least as strong as the index's), refines kUnknown through the octagon
+/// domain (analysis/relational.hpp).
+[[nodiscard]] CoverVerdict covers(const Subscription& a, const Subscription& b,
+                                  const VariableRegistry& registry, bool relational);
 [[nodiscard]] CoverVerdict covers(const Subscription& a, const Subscription& b,
                                   const VariableRegistry& registry);
 
 /// Counters for the pair analysis (surfaced per broker via
 /// metrics/covering_counters.hpp).
 struct CoverStats {
-  std::uint64_t pairs = 0;    ///< covering queries answered
-  std::uint64_t covered = 0;  ///< kCovers verdicts
-  std::uint64_t unknown = 0;  ///< kUnknown verdicts
+  std::uint64_t pairs = 0;       ///< covering queries answered
+  std::uint64_t covered = 0;     ///< kCovers verdicts
+  std::uint64_t relational = 0;  ///< kCovers proved only by the octagon refinement
+  std::uint64_t unknown = 0;     ///< kUnknown verdicts
 
   void reset() noexcept { *this = CoverStats{}; }
 };

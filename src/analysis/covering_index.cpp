@@ -14,7 +14,11 @@ void erase_value(std::vector<SubscriptionId>& v, SubscriptionId id) {
 
 bool CoveringIndex::check_covers(const Entry& coverer, const Entry& coveree) {
   ++stats_.pairs;
-  const CoverVerdict v = covers(coverer.inner, coveree.outer);
+  CoverVerdict v = covers(coverer.inner, coveree.outer);
+  if (v != CoverVerdict::kCovers && relational_) {
+    v = covers_relational(coverer.inner, coverer.rel, coveree.outer, coveree.rel);
+    if (v == CoverVerdict::kCovers) ++stats_.relational;
+  }
   if (v == CoverVerdict::kCovers) {
     ++stats_.covered;
     return true;
@@ -81,6 +85,7 @@ CoveringIndex::AddResult CoveringIndex::add(const Subscription& sub,
   Entry e;
   e.inner = inner_shape(sub, registry);
   e.outer = outer_shape(sub, registry);
+  if (relational_) e.rel = relational_shape(sub, registry);
 
   AddResult result;
   result.parent = find_coverer(e);

@@ -36,11 +36,18 @@
 #include <vector>
 
 #include "analysis/covering.hpp"
+#include "analysis/relational.hpp"
 
 namespace evps {
 
 class CoveringIndex {
  public:
+  /// `relational` enables the octagon refinement pass
+  /// (analysis/relational.hpp) on pairs the per-attribute check leaves
+  /// kUnknown. Relational shapes are computed once at add() time alongside
+  /// the ValueSet shapes, under the same monotonicity argument.
+  explicit CoveringIndex(bool relational = true) : relational_(relational) {}
+
   struct AddResult {
     /// Root that covers the new subscription; invalid() when the new
     /// subscription itself became a root.
@@ -89,6 +96,7 @@ class CoveringIndex {
   struct Entry {
     SubscriptionShape inner;
     SubscriptionShape outer;
+    RelationalShape rel;  // populated only when relational_ is on
     SubscriptionId parent = SubscriptionId::invalid();  // invalid => root
     std::vector<SubscriptionId> children;               // roots only
   };
@@ -105,6 +113,7 @@ class CoveringIndex {
   /// Roots with no predicates at all (they cover everything).
   std::vector<SubscriptionId> unconstrained_roots_;
   std::size_t root_count_ = 0;
+  bool relational_ = true;
   CoverStats stats_;
 };
 

@@ -20,6 +20,36 @@ void widen(Interval& i) noexcept {
   i.hi = up(i.hi);
 }
 
+// Endpoint exactness tests: widening exists to cover round-to-nearest error,
+// so an endpoint whose arithmetic was provably exact keeps its crisp value —
+// `v + 1` over v in [0, 4] is exactly [1, 5], and a static `x <= 5` stays
+// provably covered by it (the 1-ulp fail-closed gap).
+
+bool sum_exact(double x, double y, double s) noexcept {
+  return std::isfinite(s) && s - x == y && s - y == x;
+}
+
+bool diff_exact(double x, double y, double d) noexcept {
+  return std::isfinite(d) && d + y == x && x - d == y;
+}
+
+/// fma detects an inexact product as a nonzero residual — except when the
+/// real residual is too small for even a subnormal (possible only when the
+/// product's own magnitude sits within ~106 bits of the subnormal floor), so
+/// those magnitudes fail closed.
+bool prod_exact(double x, double y, double p) noexcept {
+  if (!std::isfinite(p)) return false;
+  if (p == 0.0) return x == 0.0 || y == 0.0;
+  return std::abs(p) >= 0x1p-916 && std::fma(x, y, -p) == 0.0;
+}
+
+/// x / y == q exactly iff q * y == x exactly (same residual caveat, on x).
+bool quot_exact(double x, double y, double q) noexcept {
+  if (!std::isfinite(q) || !std::isfinite(y)) return false;
+  if (q == 0.0) return x == 0.0;
+  return std::abs(x) >= 0x1p-916 && std::fma(q, y, -x) == 0.0;
+}
+
 bool degenerate(const Interval& i) noexcept { return i.lo == i.hi; }
 bool contains_zero(const Interval& i) noexcept { return i.lo <= 0.0 && 0.0 <= i.hi; }
 bool contains_inf(const Interval& i) noexcept { return i.lo == -kInf || i.hi == kInf; }
@@ -36,8 +66,9 @@ Interval exact(double v, bool maybe_nan) noexcept {
 
 /// Numeric range spanned by non-NaN candidates; NaN candidates (0*inf,
 /// inf-inf, ...) only set the flag — their finite neighbourhood limits
-/// appear among the other candidates.
-Interval from_candidates(const double* cand, int n, bool maybe_nan) noexcept {
+/// appear among the other candidates. Each candidate contributes its crisp
+/// value when `exact[i]`, a 1-ulp-widened value otherwise.
+Interval from_candidates(const double* cand, const bool* exact, int n, bool maybe_nan) noexcept {
   Interval r = Interval::nan_only();
   bool any = false;
   for (int i = 0; i < n; ++i) {
@@ -45,16 +76,18 @@ Interval from_candidates(const double* cand, int n, bool maybe_nan) noexcept {
       maybe_nan = true;
       continue;
     }
+    const double lo = exact[i] ? cand[i] : down(cand[i]);
+    const double hi = exact[i] ? cand[i] : up(cand[i]);
     if (!any) {
-      r.lo = r.hi = cand[i];
+      r.lo = lo;
+      r.hi = hi;
       any = true;
     } else {
-      r.lo = std::min(r.lo, cand[i]);
-      r.hi = std::max(r.hi, cand[i]);
+      r.lo = std::min(r.lo, lo);
+      r.hi = std::max(r.hi, hi);
     }
   }
   r.maybe_nan = maybe_nan;
-  if (any) widen(r);
   return r;
 }
 
@@ -172,10 +205,11 @@ Interval iv_add(const Interval& a, const Interval& b) noexcept {
   bool nan = a.maybe_nan || b.maybe_nan;
   if ((a.hi == kInf && b.lo == -kInf) || (a.lo == -kInf && b.hi == kInf)) nan = true;
   if (degenerate(a) && degenerate(b)) return exact(a.lo + b.lo, nan);
-  const double cand[2] = {a.lo + b.lo, a.hi + b.hi};
-  double lo = std::isnan(cand[0]) ? -kInf : cand[0];
-  double hi = std::isnan(cand[1]) ? kInf : cand[1];
-  Interval r = Interval::range(down(lo), up(hi));
+  const double lo_c = a.lo + b.lo;
+  const double hi_c = a.hi + b.hi;
+  const double lo = std::isnan(lo_c) ? -kInf : (sum_exact(a.lo, b.lo, lo_c) ? lo_c : down(lo_c));
+  const double hi = std::isnan(hi_c) ? kInf : (sum_exact(a.hi, b.hi, hi_c) ? hi_c : up(hi_c));
+  Interval r = Interval::range(lo, hi);
   r.maybe_nan = nan;
   return r;
 }
@@ -185,10 +219,11 @@ Interval iv_sub(const Interval& a, const Interval& b) noexcept {
   bool nan = a.maybe_nan || b.maybe_nan;
   if ((a.hi == kInf && b.hi == kInf) || (a.lo == -kInf && b.lo == -kInf)) nan = true;
   if (degenerate(a) && degenerate(b)) return exact(a.lo - b.lo, nan);
-  const double cand[2] = {a.lo - b.hi, a.hi - b.lo};
-  double lo = std::isnan(cand[0]) ? -kInf : cand[0];
-  double hi = std::isnan(cand[1]) ? kInf : cand[1];
-  Interval r = Interval::range(down(lo), up(hi));
+  const double lo_c = a.lo - b.hi;
+  const double hi_c = a.hi - b.lo;
+  const double lo = std::isnan(lo_c) ? -kInf : (diff_exact(a.lo, b.hi, lo_c) ? lo_c : down(lo_c));
+  const double hi = std::isnan(hi_c) ? kInf : (diff_exact(a.hi, b.lo, hi_c) ? hi_c : up(hi_c));
+  Interval r = Interval::range(lo, hi);
   r.maybe_nan = nan;
   return r;
 }
@@ -201,18 +236,22 @@ Interval iv_mul(const Interval& a, const Interval& b) noexcept {
   if ((contains_zero(a) && contains_inf(b)) || (contains_zero(b) && contains_inf(a))) nan = true;
   if (degenerate(a) && degenerate(b)) return exact(a.lo * b.lo, nan);
   double cand[5];
+  bool is_exact[5];
   int n = 0;
-  cand[n++] = a.lo * b.lo;
-  cand[n++] = a.lo * b.hi;
-  cand[n++] = a.hi * b.lo;
-  cand[n++] = a.hi * b.hi;
+  const double xs[4] = {a.lo, a.lo, a.hi, a.hi};
+  const double ys[4] = {b.lo, b.hi, b.lo, b.hi};
+  for (int i = 0; i < 4; ++i, ++n) {
+    cand[n] = xs[i] * ys[i];
+    is_exact[n] = prod_exact(xs[i], ys[i], cand[n]);
+  }
   // A zero in one operand times a *finite* value of the other yields 0, but
   // when that operand's endpoints are infinite every corner product is NaN
   // (e.g. [0,0] * [-inf,+inf]) and the interior zero would be lost.
   if ((contains_zero(a) && contains_finite(b)) || (contains_zero(b) && contains_finite(a))) {
-    cand[n++] = 0.0;
+    cand[n] = 0.0;
+    is_exact[n++] = true;
   }
-  return from_candidates(cand, n, nan);
+  return from_candidates(cand, is_exact, n, nan);
 }
 
 Interval iv_div(const Interval& a, const Interval& b) noexcept {
@@ -228,16 +267,22 @@ Interval iv_div(const Interval& a, const Interval& b) noexcept {
   }
   if (contains_inf(a) && contains_inf(b)) nan = true;  // inf / inf
   double cand[5];
+  bool is_exact[5];
   int n = 0;
-  cand[n++] = a.lo / b.lo;
-  cand[n++] = a.lo / b.hi;
-  cand[n++] = a.hi / b.lo;
-  cand[n++] = a.hi / b.hi;
+  const double xs[4] = {a.lo, a.lo, a.hi, a.hi};
+  const double ys[4] = {b.lo, b.hi, b.lo, b.hi};
+  for (int i = 0; i < 4; ++i, ++n) {
+    cand[n] = xs[i] / ys[i];
+    is_exact[n] = quot_exact(xs[i], ys[i], cand[n]);
+  }
   // finite / ±inf yields ±0; with infinite endpoints on both sides the
   // corners are all NaN (e.g. [-inf,+inf] / [+inf,+inf]) and the interior
   // zero would be lost.
-  if (contains_finite(a) && contains_inf(b)) cand[n++] = 0.0;
-  return from_candidates(cand, n, nan);
+  if (contains_finite(a) && contains_inf(b)) {
+    cand[n] = 0.0;
+    is_exact[n++] = true;
+  }
+  return from_candidates(cand, is_exact, n, nan);
 }
 
 Interval iv_mod(const Interval& a, const Interval& b) noexcept {
@@ -267,14 +312,19 @@ Interval iv_pow(const Interval& a, const Interval& b) noexcept {
   // Non-negative base: pow is monotone in each argument separately, so the
   // extremes sit at box corners — plus 1, attained when the exponent crosses
   // 0 or the base crosses 1.
+  // pow is not correctly rounded; every corner stays 1-ulp-widened.
   double cand[5];
+  bool is_exact[5] = {false, false, false, false, false};
   int n = 0;
   cand[n++] = std::pow(a.lo, b.lo);
   cand[n++] = std::pow(a.lo, b.hi);
   cand[n++] = std::pow(a.hi, b.lo);
   cand[n++] = std::pow(a.hi, b.hi);
-  if (contains_zero(b) || (a.lo <= 1.0 && 1.0 <= a.hi)) cand[n++] = 1.0;
-  return from_candidates(cand, n, nan);
+  if (contains_zero(b) || (a.lo <= 1.0 && 1.0 <= a.hi)) {
+    cand[n] = 1.0;
+    is_exact[n++] = true;
+  }
+  return from_candidates(cand, is_exact, n, nan);
 }
 
 Interval iv_min2(const Interval& a, const Interval& b) noexcept {

@@ -1,0 +1,146 @@
+#include "analysis/octagon.hpp"
+
+#include <cmath>
+
+namespace evps {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMax = std::numeric_limits<double>::max();
+
+/// Upper bound of the real sum a + b. Exact sums pass through unchanged
+/// (small-integer octagon constants stay crisp); inexact ones are widened one
+/// ulp towards +inf, which also turns a negative overflow into -DBL_MAX — a
+/// weaker, still-implied bound. A +inf operand is vacuous and stays vacuous
+/// (including the indeterminate inf + -inf).
+double up_add(double a, double b) noexcept {
+  if (a == kInf || b == kInf) return kInf;
+  const double s = a + b;
+  if (s - a == b && s - b == a) return s;
+  return std::nextafter(s, kInf);
+}
+
+/// Upper bound of the real value c/2 (exact except subnormal halving).
+double up_half(double c) noexcept {
+  const double h = c / 2.0;
+  if (std::isfinite(h) && h + h < c) return std::nextafter(h, kInf);
+  return h;
+}
+
+/// Upper bound of the real value 2c (exact except overflow).
+double up_twice(double c) noexcept {
+  const double d = 2.0 * c;
+  if (d == -kInf && std::isfinite(c)) return -kMax;
+  return d;
+}
+
+/// Lower bound of the real value 2c, for the query side of entailment: a
+/// derived bound <= this is <= the real 2c. Positive overflow means the real
+/// product strictly exceeds DBL_MAX, so DBL_MAX is a valid lower bound;
+/// negative overflow has no finite lower bound and degrades to -inf (only an
+/// unsatisfiable system entails it).
+double down_twice(double c) noexcept {
+  const double d = 2.0 * c;
+  if (d == kInf && std::isfinite(c)) return kMax;
+  return d;
+}
+
+std::size_t pos(std::size_t i) noexcept { return 2 * i; }
+std::size_t neg(std::size_t i) noexcept { return 2 * i + 1; }
+
+}  // namespace
+
+Octagon::Octagon(std::size_t num_vars) : n_(num_vars), m_(4 * num_vars * num_vars) {
+  for (std::size_t u = 0; u < 2 * n_; ++u) at(u, u) = OctBound{0.0, false};
+}
+
+void Octagon::add_pair(std::size_t i, int si, std::size_t j, int sj, double c, bool strict) {
+  const OctBound b{c, strict};
+  if (si > 0 && sj > 0) {  // x_i + x_j <= c
+    tighten(neg(i), pos(j), b);
+    tighten(neg(j), pos(i), b);
+  } else if (si > 0 && sj < 0) {  // x_i - x_j <= c
+    tighten(pos(j), pos(i), b);
+    tighten(neg(i), neg(j), b);
+  } else if (si < 0 && sj > 0) {  // x_j - x_i <= c
+    tighten(pos(i), pos(j), b);
+    tighten(neg(j), neg(i), b);
+  } else {  // -x_i - x_j <= c
+    tighten(pos(j), neg(i), b);
+    tighten(pos(i), neg(j), b);
+  }
+}
+
+void Octagon::add_upper(std::size_t i, double c, bool strict) {
+  tighten(neg(i), pos(i), OctBound{up_twice(c), strict});
+}
+
+void Octagon::add_lower(std::size_t i, double c, bool strict) {
+  // x_i >= c  <=>  -x_i <= -c  <=>  val(neg i) - val(pos i) <= -2c.
+  tighten(pos(i), neg(i), OctBound{up_twice(-c), strict});
+}
+
+void Octagon::close() {
+  const std::size_t dim = 2 * n_;
+  // Floyd-Warshall over the two-node encoding; every derived path bound is
+  // an up-rounded sum, so derivations only ever weaken in real arithmetic.
+  for (std::size_t k = 0; k < dim; ++k) {
+    for (std::size_t u = 0; u < dim; ++u) {
+      const OctBound uk = at(u, k);
+      if (uk.c == kInf) continue;
+      for (std::size_t v = 0; v < dim; ++v) {
+        const OctBound kv = at(k, v);
+        if (kv.c == kInf) continue;
+        tighten(u, v, OctBound{up_add(uk.c, kv.c), uk.strict || kv.strict});
+      }
+    }
+  }
+  // Octagon strengthening: 2(val(v) - val(u)) = (val(v) - val(vbar)) +
+  // (val(ubar) - val(u)) <= m[vbar][v] + m[u][ubar].
+  for (std::size_t u = 0; u < dim; ++u) {
+    const OctBound du = at(u, u ^ 1);
+    if (du.c == kInf) continue;
+    for (std::size_t v = 0; v < dim; ++v) {
+      const OctBound dv = at(v ^ 1, v);
+      if (dv.c == kInf) continue;
+      tighten(u, v, OctBound{up_add(up_half(du.c), up_half(dv.c)), du.strict || dv.strict});
+    }
+  }
+  for (std::size_t u = 0; u < dim; ++u) {
+    const OctBound d = at(u, u);
+    if (d.c < 0.0 || (d.c == 0.0 && d.strict)) {
+      empty_ = true;
+      break;
+    }
+  }
+}
+
+bool Octagon::entails_pair(std::size_t i, int si, std::size_t j, int sj, double c,
+                           bool strict) const {
+  if (empty_) return true;
+  return bound_pair(i, si, j, sj).le(OctBound{c, strict});
+}
+
+bool Octagon::entails_upper(std::size_t i, double c, bool strict) const {
+  if (empty_) return true;
+  return at(neg(i), pos(i)).le(OctBound{down_twice(c), strict});
+}
+
+bool Octagon::entails_lower(std::size_t i, double c, bool strict) const {
+  if (empty_) return true;
+  return at(pos(i), neg(i)).le(OctBound{down_twice(-c), strict});
+}
+
+OctBound Octagon::bound_pair(std::size_t i, int si, std::size_t j, int sj) const {
+  if (si > 0 && sj > 0) return at(neg(i), pos(j));
+  if (si > 0 && sj < 0) return at(pos(j), pos(i));
+  if (si < 0 && sj > 0) return at(pos(i), pos(j));
+  return at(pos(j), neg(i));
+}
+
+OctBound Octagon::bound_upper(std::size_t i) const {
+  const OctBound b = at(neg(i), pos(i));
+  return OctBound{up_half(b.c), b.strict};
+}
+
+}  // namespace evps

@@ -1,0 +1,102 @@
+// Octagon abstract domain: conjunctions of constraints ±x_i ± x_j <= c.
+//
+// The relational covering/unsatisfiability analysis (analysis/relational.hpp)
+// needs to reason about *correlations* between quantities — a publication
+// attribute and the evolution variable its bound tracks, or two attributes
+// whose bounds share a variable — that the per-attribute interval planes
+// (analysis/interval.hpp) quantify away. The octagon domain is the classic
+// middle ground: it closes under exactly the difference/sum constraints a
+// transfer pass over linear predicate bounds produces, and entailment and
+// emptiness reduce to shortest paths.
+//
+// Representation (Miné's DBM encoding): each abstract variable x_i owns two
+// DBM nodes, 2i ("+x_i") and 2i+1 ("-x_i"); the matrix entry m[u][v] bounds
+// val(v) - val(u). A unary bound x_i <= c is the arc -x_i -> +x_i with
+// weight 2c. Every bound carries a strictness flag so `x < v && x > v` can
+// be recognised as empty even though the non-strict system is satisfiable.
+//
+// Soundness contract (both directions are used):
+//   * close() only ever derives consequences: path sums are rounded UPWARD
+//     (weaker bounds), so a derived bound is implied by the input system in
+//     real arithmetic.
+//   * unsatisfiable() reports true only for genuinely infeasible systems:
+//     a negative — or zero-but-strict — cycle of up-rounded sums implies the
+//     exact real cycle sum is negative (or zero with a strict edge), which
+//     no assignment can satisfy.
+//   * entails() answers true only when every point satisfying the (closed)
+//     system satisfies the queried constraint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace evps {
+
+/// One octagon bound: value <= c (or < c when strict). The default is the
+/// vacuous bound +inf.
+struct OctBound {
+  double c = std::numeric_limits<double>::infinity();
+  bool strict = false;
+
+  /// Lattice order: is this bound at least as tight as `other`?
+  [[nodiscard]] bool le(const OctBound& other) const noexcept {
+    return c < other.c || (c == other.c && (strict || !other.strict));
+  }
+};
+
+class Octagon {
+ public:
+  /// `num_vars` abstract variables, all initially unconstrained.
+  explicit Octagon(std::size_t num_vars);
+
+  [[nodiscard]] std::size_t num_vars() const noexcept { return n_; }
+
+  // --- constraint entry (pre-close) ----------------------------------------
+  /// si*x_i + sj*x_j <= c (strict: <). si/sj in {+1, -1}; i != j.
+  void add_pair(std::size_t i, int si, std::size_t j, int sj, double c, bool strict);
+  /// x_i <= c (strict: <).
+  void add_upper(std::size_t i, double c, bool strict);
+  /// x_i >= c (strict: >).
+  void add_lower(std::size_t i, double c, bool strict);
+
+  /// Shortest-path closure (Floyd-Warshall) followed by octagon
+  /// strengthening, with upward rounding on every derived sum. Idempotent in
+  /// effect; call once after the last add_*.
+  void close();
+
+  /// No assignment satisfies the system (negative or zero-with-strict
+  /// cycle). Only meaningful after close().
+  [[nodiscard]] bool unsatisfiable() const noexcept { return empty_; }
+
+  // --- entailment queries (post-close) -------------------------------------
+  /// Every satisfying assignment has si*x_i + sj*x_j <= c (strict: <)?
+  /// Answers true for any query when the system is unsatisfiable.
+  [[nodiscard]] bool entails_pair(std::size_t i, int si, std::size_t j, int sj, double c,
+                                  bool strict) const;
+  /// Every satisfying assignment has x_i <= c (strict: <)?
+  [[nodiscard]] bool entails_upper(std::size_t i, double c, bool strict) const;
+  /// Every satisfying assignment has x_i >= c (strict: >)?
+  [[nodiscard]] bool entails_lower(std::size_t i, double c, bool strict) const;
+
+  /// Tightest derived bound on si*x_i + sj*x_j (post-close); for tests.
+  [[nodiscard]] OctBound bound_pair(std::size_t i, int si, std::size_t j, int sj) const;
+  [[nodiscard]] OctBound bound_upper(std::size_t i) const;
+
+ private:
+  [[nodiscard]] OctBound& at(std::size_t u, std::size_t v) noexcept { return m_[u * 2 * n_ + v]; }
+  [[nodiscard]] const OctBound& at(std::size_t u, std::size_t v) const noexcept {
+    return m_[u * 2 * n_ + v];
+  }
+  void tighten(std::size_t u, std::size_t v, const OctBound& b) noexcept {
+    if (b.le(at(u, v))) at(u, v) = b;
+  }
+
+  std::size_t n_ = 0;
+  /// Row-major (2n x 2n); m[u][v] bounds val(v) - val(u).
+  std::vector<OctBound> m_;
+  bool empty_ = false;
+};
+
+}  // namespace evps

@@ -28,7 +28,9 @@ Broker::Broker(std::string name, Network& net, BrokerConfig config)
         if (broker_neighbors_.contains(dest)) return LinkKind::kBroker;
         return LinkKind::kUnknown;
       }) {
-  if (config_.covering) covering_ = std::make_unique<CoveringIndex>();
+  if (config_.covering) {
+    covering_ = std::make_unique<CoveringIndex>(config_.relational_covering);
+  }
   net_.attach(*this);
 }
 
@@ -228,6 +230,12 @@ SubscriptionPtr Broker::analyze_incoming(const SubscriptionPtr& sub) {
       EVPS_WARN(name_, "subscription ", sub->id(), " unsatisfiable: ", analysis.diagnostic);
       if (enforce) return nullptr;
       break;
+    case Verdict::kRelUnsatisfiable:
+      ++analysis_counters_.rejected_rel_unsatisfiable;
+      EVPS_WARN(name_, "subscription ", sub->id(),
+                " relationally unsatisfiable: ", analysis.diagnostic);
+      if (enforce) return nullptr;
+      break;
     case Verdict::kAdUncovered:
       // Satisfiable, so it stays installed (a covering advertisement may
       // still arrive) — but flagged: it cannot match today.
@@ -242,6 +250,12 @@ SubscriptionPtr Broker::analyze_incoming(const SubscriptionPtr& sub) {
         ++analysis_counters_.folded_constant;
         return std::make_shared<const Subscription>(*analysis.folded);
       }
+      break;
+    case Verdict::kRelRedundant:
+      // Advisory only: behaviour is identical with or without the entailed
+      // predicate, so the subscription installs as-is.
+      ++analysis_counters_.flagged_redundant;
+      EVPS_WARN(name_, "subscription ", sub->id(), " redundant: ", analysis.diagnostic);
       break;
     case Verdict::kOk:
       break;

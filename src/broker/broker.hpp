@@ -56,6 +56,13 @@ struct BrokerConfig {
   /// directions are provably served by the root for every reachable
   /// evolution-variable assignment.
   bool covering = false;
+  /// Octagon refinement of the covering check (analysis/relational.hpp):
+  /// when the per-attribute shapes cannot decide a pair, prove covering
+  /// relationally over `±attr ± var <= c` constraints — cross-attribute
+  /// shapes like moving AoIs become suppressible. Only consulted when
+  /// `covering` is on; the refinement only ever strengthens kUnknown to a
+  /// proved kCovers, so delivery sets remain unchanged.
+  bool relational_covering = true;
   /// Publication batching: buffer up to this many snapshot-free publications
   /// and match them with one BrokerEngine::match_batch call (amortising the
   /// matcher-shard pool dispatch). Buffered publications are flushed by a

@@ -8,25 +8,32 @@
 namespace evps {
 
 void print_analysis_report(const std::vector<const Broker*>& brokers, std::ostream& os) {
-  Table table({"broker", "analyzed", "malformed", "unsat", "folded", "uncovered"});
+  Table table(
+      {"broker", "analyzed", "malformed", "unsat", "rel-unsat", "folded", "uncovered", "redundant"});
   AnalysisCounters total;
   for (const Broker* broker : brokers) {
     const AnalysisCounters& c = broker->analysis_counters();
     total.analyzed += c.analyzed;
     total.rejected_malformed += c.rejected_malformed;
     total.rejected_unsatisfiable += c.rejected_unsatisfiable;
+    total.rejected_rel_unsatisfiable += c.rejected_rel_unsatisfiable;
     total.folded_constant += c.folded_constant;
     total.flagged_uncovered += c.flagged_uncovered;
+    total.flagged_redundant += c.flagged_redundant;
     table.add_row({broker->name(), std::to_string(c.analyzed),
                    std::to_string(c.rejected_malformed),
                    std::to_string(c.rejected_unsatisfiable),
-                   std::to_string(c.folded_constant), std::to_string(c.flagged_uncovered)});
+                   std::to_string(c.rejected_rel_unsatisfiable),
+                   std::to_string(c.folded_constant), std::to_string(c.flagged_uncovered),
+                   std::to_string(c.flagged_redundant)});
   }
   table.add_row({"total", std::to_string(total.analyzed),
                  std::to_string(total.rejected_malformed),
                  std::to_string(total.rejected_unsatisfiable),
+                 std::to_string(total.rejected_rel_unsatisfiable),
                  std::to_string(total.folded_constant),
-                 std::to_string(total.flagged_uncovered)});
+                 std::to_string(total.flagged_uncovered),
+                 std::to_string(total.flagged_redundant)});
   table.print(os);
 }
 

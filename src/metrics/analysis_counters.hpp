@@ -20,13 +20,17 @@ struct AnalysisCounters {
   std::uint64_t rejected_malformed = 0;
   /// Rejected: provably unsatisfiable for every reachable variable state.
   std::uint64_t rejected_unsatisfiable = 0;
+  /// Rejected: cross-attribute infeasibility proved in the octagon domain.
+  std::uint64_t rejected_rel_unsatisfiable = 0;
   /// Installed as the folded static equivalent (lazy path skipped).
   std::uint64_t folded_constant = 0;
   /// Installed but flagged: provably disjoint from every advertisement.
   std::uint64_t flagged_uncovered = 0;
+  /// Installed but flagged: a predicate is entailed by the others.
+  std::uint64_t flagged_redundant = 0;
 
   [[nodiscard]] std::uint64_t rejected() const noexcept {
-    return rejected_malformed + rejected_unsatisfiable;
+    return rejected_malformed + rejected_unsatisfiable + rejected_rel_unsatisfiable;
   }
 
   void reset() noexcept { *this = AnalysisCounters{}; }

@@ -263,6 +263,87 @@ TEST_F(CoveringStarTest, OverlayCycleIsFlagged) {
   EXPECT_TRUE(report.has(Invariant::kTopology)) << report.format();
 }
 
+// --- relational covering interplay -----------------------------------------
+
+/// Same star shape as CoveringStarTest, but the covering edge is only
+/// provable in the RELATIONAL domain: both subscriptions are moving zones
+/// around a shared evolution variable, so their per-attribute inner shapes
+/// are empty and the hub's suppression rests on the octagon proof. The
+/// auditor must re-prove exactly that edge (a weaker auditor would flag the
+/// clean overlay; a stronger-than-index auditor is fine).
+struct RelationalStarTest : ::testing::Test {
+  Simulator sim;
+  Overlay overlay{sim};
+  std::vector<Broker*> brokers;
+  PubSubClient* sub_client = nullptr;
+  PubSubClient* root_client = nullptr;
+  SubscriptionId root_id;
+  SubscriptionId covered_id;
+
+  void build() {
+    brokers = overlay.build_star(3, covering_config(), Duration::millis(5));
+    for (Broker* b : brokers) b->variables().declare_range("ra_c", -100.0, 100.0);
+    root_client = &overlay.add_client("root_client");
+    sub_client = &overlay.add_client("sub_client");
+    root_client->connect(*brokers[2], Duration::millis(1));
+    sub_client->connect(*brokers[1], Duration::millis(1));
+    brokers[0]->set_variable("ra_c", 10.0);
+    sim.run_until(sec(0.5));
+    root_id = root_client->subscribe("[tt=0.5] rax >= ra_c - 60; rax <= ra_c + 60");
+    sim.run_until(sec(1));
+    covered_id = sub_client->subscribe("[tt=0.5] rax >= ra_c - 30; rax <= ra_c + 30");
+    sim.run_until(sec(2));
+  }
+};
+
+TEST_F(RelationalStarTest, CleanRelationalSuppressionAuditsClean) {
+  build();
+  // Fixture sanity: the hub really did suppress via a relational proof.
+  OverlaySnapshot snap = audit::snapshot_overlay(overlay);
+  BrokerState& hub = broker_named(snap, "broker_core");
+  bool relational_edge = false;
+  for (const auto& n : hub.forest) relational_edge |= (n.id == covered_id && n.parent == root_id);
+  ASSERT_TRUE(relational_edge) << "fixture expectation: S covered by R at the hub\n"
+                               << canonical_text(snap);
+  const AuditReport report = audit::audit_overlay(overlay);
+  EXPECT_TRUE(report.clean()) << report.format();
+  EXPECT_GT(report.witnesses_checked, 0u) << "no covering suppression in play";
+}
+
+TEST_F(RelationalStarTest, BogusRelationalParentEdgeIsFlagged) {
+  build();
+  OverlaySnapshot snap = audit::snapshot_overlay(overlay);
+  // Invert the relational edge: claim the narrow moving zone covers the wide
+  // one. The octagon re-proof must fail on it.
+  BrokerState& hub = broker_named(snap, "broker_core");
+  for (auto& n : hub.forest) {
+    if (n.id == covered_id) {
+      n.parent = SubscriptionId::invalid();
+      n.children = {root_id};
+    } else if (n.id == root_id) {
+      n.parent = covered_id;
+      n.children.clear();
+    }
+  }
+  const AuditReport report = OverlayAuditor().audit(snap);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(flags_sub(report, Invariant::kForest, root_id)) << report.format();
+  EXPECT_EQ(classes_of(report), std::set<Invariant>{Invariant::kForest}) << report.format();
+}
+
+TEST_F(RelationalStarTest, StaleRelationallySuppressedForwardIsFlagged) {
+  build();
+  OverlaySnapshot snap = audit::snapshot_overlay(overlay);
+  // S's forward towards edge2 was suppressed citing the relational coverer
+  // R; erase R's state at edge2 and the suppression is a black hole.
+  erase_subscription(broker_named(snap, "broker_edge2"), root_id);
+  const AuditReport report = OverlayAuditor().audit(snap);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(classes_of(report), std::set<Invariant>{Invariant::kDeliveryCompleteness})
+      << report.format();
+  EXPECT_TRUE(flags_sub(report, Invariant::kDeliveryCompleteness, covered_id)) << report.format();
+}
+
 // --- refcount skew (dedup bookkeeping) -------------------------------------
 
 struct DedupLineTest : ::testing::Test {

@@ -3,8 +3,10 @@
 // Runs the same subscribe-time analysis the broker applies
 // (analysis/analyzer.hpp) over a scenario file, printing one verdict per
 // subscription plus caret diagnostics for parse failures. Exits nonzero when
-// any subscription is malformed, unsatisfiable, or fails to parse, so the
-// tool slots into CI and pre-deployment checks.
+// any subscription is malformed, unsatisfiable (per-attribute or relational —
+// see analysis/relational.hpp), or fails to parse, so the tool slots into CI
+// and pre-deployment checks. Relationally-redundant subscriptions (a
+// predicate entailed by the others) are warnings.
 //
 // Options:
 //   --covering   also run the pairwise covering analysis
@@ -13,8 +15,9 @@
 //                redundant for covering-based routing.
 //   --json       machine-readable report on stdout (one JSON object; human
 //                text and caret diagnostics are suppressed).
-//   --werror     treat warnings (ad-uncovered verdicts, covering redundancy)
-//                as errors: they flip the exit code to 1.
+//   --werror     treat warnings (ad-uncovered / relationally-redundant
+//                verdicts, covering redundancy) as errors: they flip the
+//                exit code to 1.
 //
 // Exit codes: 0 = clean (warnings allowed unless --werror), 1 = at least one
 // error (or warning under --werror), 2 = usage or file I/O problem.
@@ -157,11 +160,13 @@ void handle_sub(LintContext& ctx, const ScenarioDirective& d) {
     std::cout << "\n";
     if (!rec.folds_to.empty()) std::cout << "    folds to: " << rec.folds_to << "\n";
   }
-  if (analysis.verdict == Verdict::kMalformed || analysis.verdict == Verdict::kUnsatisfiable) {
+  if (analysis.verdict == Verdict::kMalformed || analysis.verdict == Verdict::kUnsatisfiable ||
+      analysis.verdict == Verdict::kRelUnsatisfiable) {
     ++ctx.errors;
     ctx.diags.push_back(Diagnostic{rec.line_no, false, rec.verdict + ": " + rec.diagnostic});
-  } else if (analysis.verdict == Verdict::kAdUncovered) {
-    // Installable but cannot match today: a warning (fails under --werror).
+  } else if (analysis.verdict == Verdict::kAdUncovered ||
+             analysis.verdict == Verdict::kRelRedundant) {
+    // Installable but suboptimal: a warning (fails under --werror).
     ++ctx.warnings;
     ctx.diags.push_back(Diagnostic{rec.line_no, true, rec.verdict + ": " + rec.diagnostic});
   }
