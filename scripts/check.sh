@@ -44,7 +44,12 @@ Full mode runs, in order:
                            harness) over the checked-in corpus: libFuzzer
                            under Clang, the fallback mutation driver under
                            gcc.
-  7. clang-tidy lint, bench smoke
+  7. sweep smoke           time-boxed Monte-Carlo capacity sweep: a small
+                           evps-sweep run (all scenarios, --selfcheck) at
+                           two worker counts, the statistical comparator's
+                           --selftest, and a same-parameters comparison
+                           that must report zero significant deltas.
+  8. clang-tidy lint, bench smoke
 EOF
 }
 
@@ -87,6 +92,20 @@ if [[ "${QUICK}" == "0" ]]; then
   ./build-fuzz/fuzz/fuzz_batch_codec -runs=5000 -max_total_time=10 fuzz/corpus/batch
   ./build-fuzz/fuzz/fuzz_scenario -runs=5000 -max_total_time=10 fuzz/corpus/scenario
   ./build-fuzz/fuzz/fuzz_covers -runs=2000 -max_total_time=10 fuzz/corpus/covers
+
+  echo "=== sweep smoke ==="
+  # Time-boxed statistical smoke: a small sweep with the bit-determinism
+  # self-check at two worker counts, then the comparator. Same parameters and
+  # seeds on both sides, so any significant delta is a real nondeterminism or
+  # statistics bug, not noise.
+  timeout 120 ./build/tools/evps-sweep --scenario=all --replicas=8 --scale=0.5 \
+      --workers=2 --selfcheck --quiet --out=build/sweep_smoke_a.json
+  timeout 120 ./build/tools/evps-sweep --scenario=all --replicas=8 --scale=0.5 \
+      --workers=4 --selfcheck --quiet --out=build/sweep_smoke_b.json
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/sweep_compare.py --selftest
+    python3 scripts/sweep_compare.py build/sweep_smoke_a.json build/sweep_smoke_b.json
+  fi
 
   echo "=== lint (clang-tidy) ==="
   cmake --build build --target lint -j "${JOBS}"

@@ -12,10 +12,17 @@
 
 namespace evps {
 
-/// Streaming summary of a sequence of doubles.
+/// Streaming summary of a sequence of doubles. Non-finite samples (NaN,
+/// ±inf) are rejected — counted in `rejected()` but kept out of every
+/// moment, so one corrupt sample cannot poison an aggregate that is later
+/// merged fleet-wide.
 class Summary {
  public:
   void record(double x) noexcept {
+    if (!std::isfinite(x)) {
+      ++rejected_;
+      return;
+    }
     ++count_;
     sum_ += x;
     sum_sq_ += x * x;
@@ -24,6 +31,7 @@ class Summary {
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
   [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
@@ -36,6 +44,7 @@ class Summary {
   [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
 
   void merge(const Summary& other) noexcept {
+    rejected_ += other.rejected_;
     count_ += other.count_;
     sum_ += other.sum_;
     sum_sq_ += other.sum_sq_;
@@ -47,6 +56,7 @@ class Summary {
 
  private:
   std::uint64_t count_ = 0;
+  std::uint64_t rejected_ = 0;
   double sum_ = 0;
   double sum_sq_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
@@ -65,6 +75,13 @@ class Histogram {
   }
 
   void record(double x) noexcept {
+    // Route non-finite samples through the summary's guard (they count as
+    // rejected there) without disturbing any bucket: NaN would otherwise
+    // land in bucket 0 via upper_bound's false comparisons.
+    if (!std::isfinite(x)) {
+      summary_.record(x);
+      return;
+    }
     const auto pos = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
     ++counts_[static_cast<std::size_t>(pos - boundaries_.begin())];
     summary_.record(x);

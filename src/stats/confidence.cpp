@@ -1,0 +1,73 @@
+#include "stats/confidence.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "stats/online_stats.hpp"
+
+namespace evps {
+
+double student_t_975(std::size_t df) noexcept {
+  // Two-sided 95 % critical values; exact through df 30, then conservative
+  // steps (a step table can only widen an interval, never narrow it).
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return kTable[0];
+  if (df <= kTable.size()) return kTable[df - 1];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+ConfidenceInterval batch_means_ci(std::span<const double> series, std::size_t batch_count) {
+  ConfidenceInterval ci;
+  std::vector<double> finite;
+  finite.reserve(series.size());
+  for (const double x : series) {
+    if (std::isfinite(x)) {
+      finite.push_back(x);
+    } else {
+      ++ci.rejected;
+    }
+  }
+  ci.samples = finite.size();
+  if (finite.empty()) return ci;
+
+  OnlineStats overall;
+  for (const double x : finite) overall.add(x);
+  ci.mean = overall.mean();
+  if (finite.size() < 2) return ci;  // variance undefined: CI suppressed
+
+  const std::size_t n = finite.size();
+  std::size_t b = batch_count == 0 ? std::min<std::size_t>(n, 20) : batch_count;
+  b = std::clamp<std::size_t>(b, 2, n);
+
+  // Near-equal contiguous batches: the first n % b batches take one extra
+  // sample, so no observation is discarded and the grand mean is exact.
+  const std::size_t base = n / b;
+  const std::size_t extra = n % b;
+  std::vector<double> batch_means;
+  batch_means.reserve(b);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < b; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    OnlineStats batch;
+    for (std::size_t j = 0; j < len; ++j) batch.add(finite[pos + j]);
+    pos += len;
+    batch_means.push_back(batch.mean());
+  }
+
+  OnlineStats across;
+  for (const double m : batch_means) across.add(m);
+  ci.batches = b;
+  ci.defined = true;
+  ci.half_width = student_t_975(b - 1) * across.stddev() / std::sqrt(static_cast<double>(b));
+  return ci;
+}
+
+}  // namespace evps

@@ -1,0 +1,48 @@
+// Batch-means 95 % confidence intervals for sweep aggregates.
+//
+// The sweep harness reports distributions over independently seeded replicas.
+// For the mean of a replica-level metric it attaches a 95 % CI computed by
+// the method of batch means: the (replica-ordered) series is split into B
+// near-equal contiguous batches, the batch means are treated as B
+// approximately independent observations, and the half-width is
+// t_{0.975,B-1} * s_B / sqrt(B). For i.i.d. replicas any B is valid (batching
+// only discards degrees of freedom); for serially correlated series —
+// interval samples inside one long run — batching is what makes the CI
+// honest, which is why the harness standardises on it everywhere.
+//
+// Edge-case contract (the aggregation hardening the sweep tests pin):
+//   * empty series          -> defined == false, mean 0
+//   * single sample         -> defined == false (variance undefined), mean set
+//   * non-finite samples    -> ignored (counted in `rejected`), never poison
+//   * constant series       -> defined, half_width 0
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace evps {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  /// Half-width of the 95 % interval around `mean`; 0 when !defined.
+  double half_width = 0.0;
+  /// Batches actually used (0 or 1 when the CI is undefined).
+  std::size_t batches = 0;
+  /// Finite samples the estimate is built from.
+  std::size_t samples = 0;
+  /// Non-finite samples dropped by the guard.
+  std::size_t rejected = 0;
+  /// False when fewer than two finite samples exist.
+  bool defined = false;
+};
+
+/// Two-sided 97.5 % Student-t quantile for `df` degrees of freedom
+/// (conservative step table; 1.96 in the limit).
+[[nodiscard]] double student_t_975(std::size_t df) noexcept;
+
+/// Batch-means 95 % CI over `series` in its given order. `batch_count` 0
+/// picks min(n, 20) batches; requests are clamped to [2, n].
+[[nodiscard]] ConfidenceInterval batch_means_ci(std::span<const double> series,
+                                                std::size_t batch_count = 0);
+
+}  // namespace evps

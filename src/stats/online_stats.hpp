@@ -1,0 +1,96 @@
+// Numerically stable streaming moments for the Monte-Carlo sweep harness.
+//
+// OnlineStats is a Welford accumulator (count / mean / centred second moment
+// plus min / max) with an exact pairwise `combine()` (Chan et al.'s parallel
+// update), so per-replica accumulators built on worker threads can be merged
+// into one summary after the fork-join barrier. `combine()` is *statistically*
+// exact — the merged moments describe the union of the two sample sets — and
+// numerically stable, but floating-point addition is not associative, so two
+// different partitions of the same stream agree to rounding error, not bit
+// for bit. The sweep driver therefore always folds replica accumulators in
+// replica-index order, which makes the aggregate bit-deterministic for any
+// worker count.
+//
+// Non-finite samples (NaN, ±inf) never enter the moments: they are counted
+// in `rejected()` and otherwise ignored, so one corrupt latency sample
+// cannot poison a whole sweep (the "NaN guard" the statistical-testing
+// hardening pass requires of every accumulator).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace evps {
+
+class OnlineStats {
+ public:
+  /// Record one sample. Non-finite values are counted as rejected.
+  void add(double x) noexcept {
+    if (!std::isfinite(x)) {
+      ++rejected_;
+      return;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merge `other` into this accumulator. The result carries the moments of
+  /// the concatenated sample sets regardless of how the stream was
+  /// partitioned or in which order partitions are combined (up to
+  /// floating-point rounding; count/min/max/rejected are exact).
+  void combine(const OnlineStats& other) noexcept {
+    rejected_ += other.rejected_;
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      n_ = other.n_;
+      mean_ = other.mean_;
+      m2_ = other.m2_;
+      min_ = other.min_;
+      max_ = other.max_;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double n = na + nb;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * (nb / n);
+    m2_ += other.m2_ + delta * delta * (na * nb / n);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples (callers that
+  /// must distinguish "undefined" check count() themselves — the confidence
+  /// layer suppresses CIs below two samples).
+  [[nodiscard]] double variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return std::max(0.0, m2_ / static_cast<double>(n_ - 1));
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double sum() const noexcept { return mean() * static_cast<double>(n_); }
+
+  void reset() noexcept { *this = OnlineStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::uint64_t rejected_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace evps

@@ -1,0 +1,129 @@
+#include "stats/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evps {
+
+QuantileSketch::QuantileSketch(double eps) : eps_(eps) {
+  if (!(eps > 0.0) || eps >= 0.5) {
+    throw std::invalid_argument("QuantileSketch eps must be in (0, 0.5)");
+  }
+}
+
+std::uint64_t QuantileSketch::band() const noexcept {
+  return static_cast<std::uint64_t>(2.0 * eps_ * static_cast<double>(n_));
+}
+
+void QuantileSketch::add(double x) {
+  if (!std::isfinite(x)) {
+    ++rejected_;
+    return;
+  }
+  // Position of the first tuple with v >= x (insert before it). Ties keep
+  // insertion after existing equal values irrelevant for rank correctness;
+  // lower_bound makes the layout deterministic.
+  const auto pos = std::lower_bound(tuples_.begin(), tuples_.end(), x,
+                                    [](const Tuple& t, double v) { return t.v < v; });
+  const bool at_edge = pos == tuples_.begin() || pos == tuples_.end();
+  const std::uint64_t b = band();  // uses n before this insert
+  const std::uint64_t delta = (at_edge || b < 1) ? 0 : b - 1;
+  tuples_.insert(pos, Tuple{x, 1, delta});
+  ++n_;
+  if (++since_compress_ >= static_cast<std::uint64_t>(std::max(1.0, 1.0 / (2.0 * eps_)))) {
+    compress();
+    since_compress_ = 0;
+  }
+}
+
+void QuantileSketch::compress() {
+  if (tuples_.size() < 3) return;
+  const std::uint64_t b = band();
+  // Merge right-to-left into the nearest surviving successor so one pass can
+  // collapse whole runs; the first and last tuples are never absorbed,
+  // keeping min()/max() exact.
+  std::size_t succ = tuples_.size() - 1;
+  for (std::size_t i = tuples_.size() - 2; i >= 1; --i) {
+    if (tuples_[i].g + tuples_[succ].g + tuples_[succ].delta <= b) {
+      tuples_[succ].g += tuples_[i].g;
+      tuples_[i].g = 0;  // mark absorbed
+    } else {
+      succ = i;
+    }
+  }
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    if (tuples_[i].g == 0 && i != 0) continue;
+    tuples_[write++] = tuples_[i];
+  }
+  tuples_.resize(write);
+}
+
+void QuantileSketch::combine(const QuantileSketch& other) {
+  if (other.eps_ != eps_) {
+    throw std::invalid_argument("QuantileSketch::combine requires equal eps");
+  }
+  rejected_ += other.rejected_;
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    n_ = other.n_;
+    extra_budget_ = other.extra_budget_;
+    tuples_ = other.tuples_;
+    since_compress_ = 0;
+    return;
+  }
+  // Interleave by value. A tuple's rank in the merged stream is its rank in
+  // its own stream plus the number of other-stream elements below it; that
+  // second term is only known up to the other summary's slack at the next
+  // tuple, so Δ is inflated by g + Δ - 1 of the other operand's successor
+  // (the classical GK merge). Every merged tuple then satisfies
+  // g + Δ <= 2·(budget_a + budget_b), which is exactly what quantile() needs
+  // to answer within the sum of the operands' budgets.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::size_t i = 0, j = 0;
+  while (i < tuples_.size() || j < other.tuples_.size()) {
+    const bool take_mine =
+        j >= other.tuples_.size() ||
+        (i < tuples_.size() && tuples_[i].v <= other.tuples_[j].v);
+    Tuple t = take_mine ? tuples_[i++] : other.tuples_[j++];
+    const std::vector<Tuple>& rest = take_mine ? other.tuples_ : tuples_;
+    const std::size_t next = take_mine ? j : i;
+    if (next < rest.size()) t.delta += rest[next].g + rest[next].delta - 1;
+    merged.push_back(t);
+  }
+  // error_budget() = ε·(n_a + n_b) + extra_a + extra_b, which equals the sum
+  // of both operands' pre-merge budgets — the documented "budgets add" rule.
+  extra_budget_ += other.extra_budget_;
+  n_ += other.n_;
+  tuples_ = std::move(merged);
+  compress();
+  since_compress_ = 0;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (tuples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double r = std::max(1.0, std::ceil(q * static_cast<double>(n_)));
+  const double e = error_budget();
+  std::uint64_t rmin = 0;
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    rmin += tuples_[i].g;
+    const double rmax = static_cast<double>(rmin + tuples_[i].delta);
+    if (rmax > r + e && i > 0) return tuples_[i - 1].v;
+  }
+  return tuples_.back().v;
+}
+
+double QuantileSketch::min() const {
+  if (tuples_.empty()) throw std::logic_error("QuantileSketch::min on empty sketch");
+  return tuples_.front().v;
+}
+
+double QuantileSketch::max() const {
+  if (tuples_.empty()) throw std::logic_error("QuantileSketch::max on empty sketch");
+  return tuples_.back().v;
+}
+
+}  // namespace evps

@@ -1,0 +1,84 @@
+// Fixed-budget streaming quantiles with a guaranteed rank-error bound.
+//
+// Greenwald–Khanna summary: a sorted list of tuples (v, g, Δ) where g is the
+// gap to the previous tuple's minimum rank and Δ the extra rank slack, under
+// the invariant g + Δ <= floor(2εn). `quantile(q)` then returns a stream
+// value whose rank in the sorted stream is within `error_budget()` of
+// ceil(q·n); for a sketch built purely by `add()` that budget is ε·n (plus
+// one rank of ceiling slack — the documented bound the property suite
+// enforces). Memory is O((1/ε)·log(εn)) tuples independent of the stream
+// values — the "fixed budget" the sweep needs to absorb per-delivery latency
+// streams of any length.
+//
+// `combine()` merges another sketch built with the same ε (tuples are
+// interleaved by value; both operands' rank-slack budgets add), so
+// per-replica sketches can be folded into a pooled view: a fold over k
+// sketches answers within the *sum* of their ε·n_i budgets. The sweep
+// driver therefore reports pooled quantiles only over small folds and keeps
+// the headline p50/p99 per replica, where the tight single-stream bound
+// applies.
+//
+// Determinism: the structure is completely deterministic in the sequence of
+// add()/combine() calls — no randomness, no pointers — which the
+// bit-deterministic replica requirement relies on. Non-finite inputs are
+// rejected and counted, like every accumulator in the harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace evps {
+
+class QuantileSketch {
+ public:
+  /// `eps` is the rank-error fraction (default 0.5 % of the stream length).
+  explicit QuantileSketch(double eps = 0.005);
+
+  /// Record one sample. Non-finite values are counted as rejected.
+  void add(double x);
+
+  /// Merge a sketch built with the same ε. The rank-error budgets add:
+  /// after the merge, error_budget() == ε·n_total + both inherited extras.
+  void combine(const QuantileSketch& other);
+
+  /// A stream value whose rank is within error_budget() (+1 ceiling slack)
+  /// of ceil(q·count()). q is clamped to [0, 1]; 0 for an empty sketch.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+
+  /// Absolute rank slack of quantile(): ε·count() plus any budget inherited
+  /// from combine().
+  [[nodiscard]] double error_budget() const noexcept {
+    return eps_ * static_cast<double>(n_) + extra_budget_;
+  }
+
+  /// Exact stream extremes (the boundary tuples are never compacted).
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Resident tuples — the memory footprint observable the budget tests pin.
+  [[nodiscard]] std::size_t tuple_count() const noexcept { return tuples_.size(); }
+
+ private:
+  struct Tuple {
+    double v;
+    std::uint64_t g;
+    std::uint64_t delta;
+  };
+
+  [[nodiscard]] std::uint64_t band() const noexcept;
+  void compress();
+
+  double eps_;
+  double extra_budget_ = 0.0;  // rank slack inherited from combine()
+  std::uint64_t n_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by v
+};
+
+}  // namespace evps

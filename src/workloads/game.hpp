@@ -53,6 +53,16 @@ struct GameConfig {
   /// Standard-matcher implementation used by the broker engine.
   MatcherKind matcher = MatcherKind::kCounting;
 
+  // --- broker matrix knobs (sweep harness) ----------------------------------
+  // Defaults reproduce the historical single-shard, unbatched behaviour
+  // bit for bit; the sweep driver varies them to span the capacity matrix.
+  /// Matcher shards/threads inside the game-server engine (0 = single shard).
+  std::size_t matcher_threads = 0;
+  /// Publication batch size inside the broker (1 = no batching).
+  std::size_t batch_size = 1;
+  /// Per-link outgoing batch size (0 = EVPS_LINK_BATCH env, default 1).
+  std::size_t link_batch_size = 0;
+
   /// Game-event publications per second.
   double pub_rate = 200.0;
   /// Fraction of events at character positions (rest uniform background).

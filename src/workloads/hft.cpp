@@ -53,8 +53,11 @@ void HftExperiment::build_topology() {
   broker_cfg.engine.matcher = MatcherKind::kCounting;
   broker_cfg.engine.default_mei = cfg_.mei;
   broker_cfg.engine.default_tt = cfg_.tt;
-  broker_cfg.routing = RoutingMode::kFlooding;
+  broker_cfg.routing = cfg_.routing;
   broker_cfg.snapshot_consistency = cfg_.snapshot_consistency;
+  broker_cfg.engine.matcher_threads = cfg_.matcher_threads;
+  broker_cfg.batch_size = cfg_.batch_size;
+  broker_cfg.link_batch_size = cfg_.link_batch_size;
 
   if (is_centralized(cfg_.system)) {
     edge_brokers_.assign(cfg_.publishers, &overlay_.add_broker("central", broker_cfg));

@@ -1,11 +1,16 @@
 // Delivery latency metric, the broker load-monitor variable
-// (Section III-C overload self-protection), and the shard/batch counters.
+// (Section III-C overload self-protection), the shard/batch counters, and
+// the NaN/inf guards of the Summary/Histogram accumulators.
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
 
 #include "broker/overlay.hpp"
 #include "message/codec.hpp"
 #include "metrics/latency.hpp"
 #include "metrics/shard_counters.hpp"
+#include "sim/stats.hpp"
 
 namespace evps {
 namespace {
@@ -231,6 +236,71 @@ TEST(LoadMonitorLifetime, ReturnedHandleCancelsEarly) {
   handle.cancel();
   sim.run_all();
   EXPECT_LT(sim.now(), sec(3));  // no further occurrences were scheduled
+}
+
+TEST(SummaryGuard, EmptyAndSingleSample) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  s.record(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);  // undefined below two samples
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryGuard, NonFiniteSamplesAreRejectedNotAbsorbed) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Summary s;
+  s.record(1.0);
+  s.record(kNaN);
+  s.record(kInf);
+  s.record(-kInf);
+  s.record(3.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.rejected(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_TRUE(std::isfinite(s.variance()));
+
+  Summary other;
+  other.record(kNaN);
+  s.merge(other);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.rejected(), 4u);  // merge carries the rejection count
+}
+
+TEST(HistogramGuard, NonFiniteSamplesTouchNoBucket) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  Histogram h{{1.0, 2.0}};
+  h.record(kNaN);
+  h.record(std::numeric_limits<double>::infinity());
+  for (const std::uint64_t c : h.counts()) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(h.summary().count(), 0u);
+  EXPECT_EQ(h.summary().rejected(), 2u);
+
+  h.record(0.5);
+  h.record(kNaN);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.summary().count(), 1u);
+  EXPECT_EQ(h.summary().rejected(), 3u);
+  EXPECT_DOUBLE_EQ(h.summary().mean(), 0.5);
+}
+
+TEST(SummaryGuard, LatencyAccumulatorSurvivesCorruptSample) {
+  // The delivery-latency collector runs on Summary; a poisoned sample must
+  // not wipe the aggregate (the statistical-testing hardening contract).
+  Summary latency;
+  latency.record(0.002);
+  latency.record(std::numeric_limits<double>::quiet_NaN());
+  latency.record(0.004);
+  EXPECT_EQ(latency.count(), 2u);
+  EXPECT_EQ(latency.rejected(), 1u);
+  EXPECT_DOUBLE_EQ(latency.mean(), 0.003);
 }
 
 }  // namespace

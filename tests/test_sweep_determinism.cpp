@@ -1,0 +1,106 @@
+// Bit-determinism of the Monte-Carlo sweep harness: the same (scenario,
+// seed) replica must reduce to bit-identical metrics no matter how many
+// worker threads ran the sweep or how often it is repeated, and the
+// aggregates (folded in replica-index order) must follow. Runs in the TSan
+// preset too — the replica fan-out is the only place the harness shares
+// anything across threads.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "workloads/sweep.hpp"
+
+namespace evps {
+namespace {
+
+SweepOptions small_options(SweepScenario scenario) {
+  SweepOptions o;
+  o.scenario = scenario;
+  o.replicas = 4;
+  o.root_seed = 97;
+  o.scale = 0.5;  // keep the TSan run cheap
+  return o;
+}
+
+void expect_same_aggregate(const MetricSummary& a, const MetricSummary& b) {
+  // Doubles compared exactly: the determinism contract is bit-for-bit.
+  EXPECT_EQ(a.stats.count(), b.stats.count());
+  EXPECT_EQ(a.stats.mean(), b.stats.mean());
+  EXPECT_EQ(a.stats.variance(), b.stats.variance());
+  EXPECT_EQ(a.ci.defined, b.ci.defined);
+  EXPECT_EQ(a.ci.half_width, b.ci.half_width);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+void expect_same_sweep(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.replicas.size(), b.replicas.size());
+  for (std::size_t i = 0; i < a.replicas.size(); ++i) {
+    EXPECT_EQ(a.replicas[i], b.replicas[i]) << "replica " << i;
+  }
+  expect_same_aggregate(a.latency_mean, b.latency_mean);
+  expect_same_aggregate(a.latency_p99, b.latency_p99);
+  expect_same_aggregate(a.accuracy, b.accuracy);
+  expect_same_aggregate(a.deliveries, b.deliveries);
+  expect_same_aggregate(a.overlay_msgs, b.overlay_msgs);
+  expect_same_aggregate(a.msgs_per_delivery, b.msgs_per_delivery);
+  expect_same_aggregate(a.subscription_msgs, b.subscription_msgs);
+}
+
+class SweepDeterminism : public ::testing::TestWithParam<SweepScenario> {};
+
+TEST_P(SweepDeterminism, WorkerCountNeverChangesABit) {
+  SweepOptions o = small_options(GetParam());
+  o.workers = 1;
+  const SweepResult one = run_sweep(o);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    o.workers = workers;
+    const SweepResult many = run_sweep(o);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_same_sweep(one, many);
+  }
+}
+
+TEST_P(SweepDeterminism, RepeatedRunsAreBitIdentical) {
+  SweepOptions o = small_options(GetParam());
+  o.workers = 2;
+  const SweepResult first = run_sweep(o);
+  const SweepResult second = run_sweep(o);
+  expect_same_sweep(first, second);
+}
+
+TEST_P(SweepDeterminism, ReplicaIsAPureFunctionOfSeed) {
+  const SweepOptions o = small_options(GetParam());
+  const std::uint64_t seed = derive_replica_seed(o.root_seed, 2);
+  const ReplicaMetrics a = run_replica(o, seed);
+  const ReplicaMetrics b = run_replica(o, seed);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.seed, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, SweepDeterminism,
+                         ::testing::Values(SweepScenario::kGame, SweepScenario::kHft,
+                                           SweepScenario::kGameRotated),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(SweepAggregation, LinkBatchZeroIsPinnedToOne) {
+  // run_sweep must not let results depend on the EVPS_LINK_BATCH env default.
+  SweepOptions o = small_options(SweepScenario::kGame);
+  o.link_batch_size = 0;
+  const SweepResult a = run_sweep(o);
+  EXPECT_EQ(a.options.link_batch_size, 1u);
+  o.link_batch_size = 1;
+  const SweepResult b = run_sweep(o);
+  expect_same_sweep(a, b);
+}
+
+TEST(SweepAggregation, RejectsZeroReplicas) {
+  SweepOptions o = small_options(SweepScenario::kGame);
+  o.replicas = 0;
+  EXPECT_THROW((void)run_sweep(o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evps
